@@ -1,0 +1,91 @@
+"""E5 — Conclusion: complexity of the implementation.
+
+The paper states the implementation "directly follows the structure of the
+specifications" with a worst-case complexity of O(n^5), conjectured improvable
+to cubic because the analysis decomposes into "three bit-vector frameworks
+(each being linear time in practice) and a cubic time reachability analysis".
+
+These benchmarks time (i) the bit-vector Reaching Definitions phases and
+(ii) the closure phase separately on a synthetic program family of growing
+size, so the report exposes the near-linear growth of the former and the
+super-linear growth of the latter.
+"""
+
+import pytest
+
+from repro.analysis.closure import global_resource_matrix
+from repro.analysis.local_deps import local_resource_matrix
+from repro.analysis.reaching_active import analyze_all_active_signals
+from repro.analysis.reaching_defs import analyze_reaching_definitions
+from repro.analysis.specialize import specialize
+from repro.analysis.api import analyze_design
+from repro.cfg.builder import build_cfg
+from repro.vhdl.elaborate import elaborate_source
+from repro.workloads import synthetic_chain_program
+
+#: (processes, assignments per process) — program size grows left to right.
+SIZES = [(2, 4), (2, 16), (4, 16), (4, 32), (8, 32)]
+
+
+def _design(processes, assignments):
+    return elaborate_source(synthetic_chain_program(processes, assignments))
+
+
+@pytest.mark.parametrize("processes,assignments", SIZES)
+def test_full_analysis_scaling(benchmark, report, processes, assignments):
+    """End-to-end analysis time as the program grows."""
+    design = _design(processes, assignments)
+
+    def run():
+        return analyze_design(design, improved=True)
+
+    result = benchmark(run)
+    stats = result.program_cfg.summary()
+    report(
+        processes=processes,
+        assignments_per_process=assignments,
+        blocks=stats["labels"],
+        flow_edges=stats["flow_edges"],
+        global_entries=len(result.rm_global),
+        graph_edges=result.graph.edge_count(),
+    )
+
+
+@pytest.mark.parametrize("processes,assignments", SIZES)
+def test_bitvector_phases_scaling(benchmark, report, processes, assignments):
+    """The Reaching Definitions phases (the paper's three bit-vector frameworks)."""
+    design = _design(processes, assignments)
+    program_cfg = build_cfg(design)
+
+    def run():
+        active = analyze_all_active_signals(program_cfg.processes)
+        return analyze_reaching_definitions(program_cfg, active)
+
+    benchmark(run)
+    report(
+        processes=processes,
+        assignments_per_process=assignments,
+        blocks=len(program_cfg.blocks),
+    )
+
+
+@pytest.mark.parametrize("processes,assignments", SIZES)
+def test_closure_phase_scaling(benchmark, report, processes, assignments):
+    """The closure phase alone (the paper's cubic reachability component)."""
+    design = _design(processes, assignments)
+    program_cfg = build_cfg(design)
+    active = analyze_all_active_signals(program_cfg.processes)
+    reaching = analyze_reaching_definitions(program_cfg, active)
+    rm_local = local_resource_matrix(program_cfg)
+    specialized = specialize(program_cfg, rm_local, active, reaching)
+
+    def run():
+        return global_resource_matrix(program_cfg, rm_local, specialized)
+
+    result = benchmark(run)
+    report(
+        processes=processes,
+        assignments_per_process=assignments,
+        local_entries=len(rm_local),
+        global_entries=len(result.rm_global),
+    )

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (see the
+experiment index in ``DESIGN.md``): it asserts the qualitative *shape* the
+paper reports — who is more precise, by how much, which edges appear — and
+times the corresponding pipeline with ``pytest-benchmark``.  The asserted
+numbers are echoed through ``benchmark.extra_info`` so they appear in the
+benchmark report next to the timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+
+def record(benchmark, **info: object) -> None:
+    """Attach reproduction facts to the benchmark report."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture
+def report(benchmark):
+    """A tiny helper bound to the current benchmark."""
+
+    def _report(**info: object) -> None:
+        record(benchmark, **info)
+
+    return _report

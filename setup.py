@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build the editable wheel.
+This shim lets ``python setup.py develop`` / legacy editable installs work
+offline; configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Reproduction of *Information Flow Analysis for VHDL* (Tolstrup, Nielson &
+Nielson, PaCT 2005).
+
+The package provides:
+
+* a frontend for the VHDL1 fragment defined in the paper (:mod:`repro.vhdl`);
+* a structural-operational-semantics simulator with delta cycles
+  (:mod:`repro.semantics`);
+* the Reaching Definitions analyses and the Information Flow analysis of the
+  paper, together with Kemmerer's baseline (:mod:`repro.analysis`);
+* a small Datalog-style constraint solver standing in for the Succinct Solver
+  (:mod:`repro.solver`);
+* an AES-128 workload generator reproducing the paper's evaluation programs
+  (:mod:`repro.aes`);
+* security-policy checking on the resulting flow graphs (:mod:`repro.security`).
+
+The most convenient entry point is :func:`repro.analyze`, which parses VHDL1
+source text, elaborates it and runs the full improved Information Flow
+analysis, returning a :class:`repro.analysis.flowgraph.FlowGraph`.
+"""
+
+from repro.analysis.api import (
+    AnalysisResult,
+    analyze,
+    analyze_design,
+    analyze_kemmerer,
+)
+from repro.analysis.flowgraph import FlowGraph
+from repro.vhdl.parser import parse_program
+from repro.vhdl.elaborate import elaborate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "FlowGraph",
+    "analyze",
+    "analyze_design",
+    "analyze_kemmerer",
+    "parse_program",
+    "elaborate",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""AES-128 workload for the evaluation (Section 6).
+
+The paper analyses the NSA AES test implementation [17]; that VHDL code is not
+publicly available, so this package generates an equivalent VHDL1 workload:
+
+* :mod:`repro.aes.reference` — a pure-Python AES-128 implementation (S-box,
+  ShiftRows, MixColumns, AddRoundKey, key schedule, full encryption) used as
+  ground truth when simulating the generated hardware descriptions;
+* :mod:`repro.aes.generator` — VHDL1 source generators for the individual
+  round transformations, written the way the paper describes the analysed
+  programs: loops unrolled, constants substituted and temporary variables
+  reused across rows (the reuse is what defeats Kemmerer's flow-insensitive
+  method and showcases the paper's analysis in Figure 5).
+"""
+
+from repro.aes.reference import (
+    SBOX,
+    INV_SBOX,
+    add_round_key,
+    encrypt_block,
+    expand_key,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+    xtime,
+)
+from repro.aes.generator import (
+    add_round_key_bytewise_source,
+    add_round_key_source,
+    key_schedule_step_source,
+    mix_column_source,
+    shift_rows_entity_source,
+    shift_rows_paper_source,
+    sub_bytes_source,
+    aes_round_source,
+)
+
+__all__ = [
+    "SBOX",
+    "INV_SBOX",
+    "add_round_key",
+    "encrypt_block",
+    "expand_key",
+    "mix_columns",
+    "shift_rows",
+    "sub_bytes",
+    "xtime",
+    "add_round_key_bytewise_source",
+    "add_round_key_source",
+    "key_schedule_step_source",
+    "mix_column_source",
+    "shift_rows_entity_source",
+    "shift_rows_paper_source",
+    "sub_bytes_source",
+    "aes_round_source",
+]

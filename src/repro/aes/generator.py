@@ -1,0 +1,471 @@
+"""Generators producing VHDL1 source text for the AES evaluation workload.
+
+The paper's Section 6 analyses the NSA AES-128 test implementation after
+pre-processing: "the function is preprocessed by unrolling the loops and
+replacing constants with their values", and "the analysed programs use several
+temporary variables … overwritten and reused for each input state".  The
+generators below produce code in exactly that style so the evaluation can be
+regenerated:
+
+* :func:`shift_rows_paper_source` — the ShiftRows workload of Figure 5: twelve
+  byte variables ``a_1_0 … a_3_3`` (the three shifted rows), rotated in place
+  through a *shared* temporary variable;
+* :func:`shift_rows_entity_source` — ShiftRows over a 128-bit state port, used
+  for simulating the transformation against the Python reference;
+* :func:`add_round_key_source` — byte-wise XOR with the round key through a
+  reused temporary;
+* :func:`sub_bytes_source` — an S-box lookup written as an unrolled
+  ``if``/``elsif`` chain (width parameterisable; the default 4-bit box keeps
+  the generated chain small while exercising the same code path as the 8-bit
+  table);
+* :func:`mix_column_source` — MixColumns on one column, with ``xtime``
+  expressed through slices, concatenation and conditional reduction;
+* :func:`key_schedule_step_source` — one (simplified) key-schedule step;
+* :func:`aes_round_source` — a three-process pipeline (AddRoundKey →
+  ShiftRows → output stage) communicating through internal signals, used to
+  exercise the cross-process parts of the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Reduced 4-bit substitution box used by the generated SubBytes workload (the
+#: S-box of the "mini-AES" teaching cipher).  The full 8-bit box is available
+#: through ``sbox_bits=8``.
+REDUCED_SBOX: List[int] = [
+    0xE, 0x4, 0xD, 0x1, 0x2, 0xF, 0xB, 0x8,
+    0x3, 0xA, 0x6, 0xC, 0x5, 0x9, 0x0, 0x7,
+]
+
+
+def _byte_slice(byte_index: int, width: int = 128) -> str:
+    """The ``downto`` slice of byte ``byte_index`` in a ``width``-bit port."""
+    high = width - 1 - 8 * byte_index
+    low = width - 8 - 8 * byte_index
+    return f"({high} downto {low})"
+
+
+def _bits(value: int, width: int) -> str:
+    """A double-quoted VHDL bit-string literal for ``value``."""
+    return '"' + format(value, f"0{width}b") + '"'
+
+
+# ---------------------------------------------------------------------------
+# ShiftRows — the Figure 5 workload
+# ---------------------------------------------------------------------------
+
+
+def shift_rows_paper_source() -> str:
+    """ShiftRows exactly as the paper's evaluation analyses it.
+
+    Twelve byte variables ``a_r_c`` (rows 1–3, the rows that are shifted) are
+    rotated in place; a single temporary ``tmp`` is reused for all three rows.
+    The loops are already unrolled and all constants substituted.  Analysing
+    this program with Kemmerer's method merges the three rows (every element
+    appears to flow to every other element); the paper's analysis keeps each
+    row's permutation separate.
+    """
+    variables = [
+        f"    variable a_{row}_{column} : std_logic_vector(7 downto 0);"
+        for row in range(1, 4)
+        for column in range(4)
+    ]
+    body = [
+        "    -- row 1: rotate left by one position",
+        "    tmp := a_1_0;",
+        "    a_1_0 := a_1_1;",
+        "    a_1_1 := a_1_2;",
+        "    a_1_2 := a_1_3;",
+        "    a_1_3 := tmp;",
+        "    -- row 2: rotate left by two positions",
+        "    tmp := a_2_0;",
+        "    a_2_0 := a_2_2;",
+        "    a_2_2 := tmp;",
+        "    tmp := a_2_1;",
+        "    a_2_1 := a_2_3;",
+        "    a_2_3 := tmp;",
+        "    -- row 3: rotate left by three positions",
+        "    tmp := a_3_3;",
+        "    a_3_3 := a_3_2;",
+        "    a_3_2 := a_3_1;",
+        "    a_3_1 := a_3_0;",
+        "    a_3_0 := tmp;",
+    ]
+    lines = [
+        "entity shift_rows_rows is",
+        "end shift_rows_rows;",
+        "",
+        "architecture unrolled of shift_rows_rows is",
+        "begin",
+        "  shift : process",
+        *variables,
+        "    variable tmp : std_logic_vector(7 downto 0);",
+        "  begin",
+        *body,
+        "  end process shift;",
+        "end unrolled;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def shift_rows_row_nodes() -> Dict[int, List[str]]:
+    """The twelve row-element node names of :func:`shift_rows_paper_source`."""
+    return {
+        row: [f"a_{row}_{column}" for column in range(4)] for row in range(1, 4)
+    }
+
+
+def shift_rows_expected_sources() -> Dict[str, str]:
+    """Ground truth for ShiftRows: which element each element receives.
+
+    ``expected[target] == source`` states that after the transformation the
+    value of ``target`` is the pre-transformation value of ``source`` — the
+    single true information flow into ``target``.
+    """
+    expected: Dict[str, str] = {}
+    for row in range(1, 4):
+        for column in range(4):
+            source_column = (column + row) % 4
+            expected[f"a_{row}_{column}"] = f"a_{row}_{source_column}"
+    return expected
+
+
+def shift_rows_entity_source() -> str:
+    """ShiftRows over a 128-bit state port (used for simulation tests).
+
+    The byte in row ``r``, column ``c`` sits at byte index ``4c + r`` of the
+    state (column-major order, as in :mod:`repro.aes.reference`).
+    """
+    assignments: List[str] = []
+    for row in range(4):
+        for column in range(4):
+            source_column = (column + row) % 4
+            destination = 4 * column + row
+            source = 4 * source_column + row
+            assignments.append(
+                f"    state_o{_byte_slice(destination)} <= state_i{_byte_slice(source)};"
+            )
+    lines = [
+        "entity shift_rows is",
+        "  port( state_i : in std_logic_vector(127 downto 0);",
+        "        state_o : out std_logic_vector(127 downto 0) );",
+        "end shift_rows;",
+        "",
+        "architecture unrolled of shift_rows is",
+        "begin",
+        "  shift : process",
+        "  begin",
+        *assignments,
+        "    wait on state_i;",
+        "  end process shift;",
+        "end unrolled;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# AddRoundKey
+# ---------------------------------------------------------------------------
+
+
+def add_round_key_source(num_bytes: int = 16) -> str:
+    """Byte-wise AddRoundKey with a single reused temporary variable."""
+    body: List[str] = []
+    for index in range(num_bytes):
+        byte = _byte_slice(index, 8 * num_bytes)
+        body.append(f"    t := state_i{byte} xor key_i{byte};")
+        body.append(f"    state_o{byte} <= t;")
+    width = 8 * num_bytes - 1
+    lines = [
+        "entity add_round_key is",
+        f"  port( state_i : in std_logic_vector({width} downto 0);",
+        f"        key_i   : in std_logic_vector({width} downto 0);",
+        f"        state_o : out std_logic_vector({width} downto 0) );",
+        "end add_round_key;",
+        "",
+        "architecture unrolled of add_round_key is",
+        "begin",
+        "  xor_state : process",
+        "    variable t : std_logic_vector(7 downto 0);",
+        "  begin",
+        *body,
+        "    wait on state_i, key_i;",
+        "  end process xor_state;",
+        "end add_round_key;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def add_round_key_bytewise_source(num_bytes: int = 16) -> str:
+    """AddRoundKey over *individual byte ports*, with one shared temporary.
+
+    This is the granularity at which the paper's evaluation observes the
+    precision gap: each output byte truly depends only on its own state and
+    key bytes, but because every byte is computed through the same temporary
+    variable ``t``, Kemmerer's flow-insensitive closure connects every input
+    byte to every output byte.  The paper's analysis keeps the bytes separate.
+    """
+    ports: List[str] = []
+    for index in range(num_bytes):
+        ports.append(f"        state_{index} : in std_logic_vector(7 downto 0);")
+    for index in range(num_bytes):
+        ports.append(f"        key_{index} : in std_logic_vector(7 downto 0);")
+    for index in range(num_bytes):
+        terminator = ";" if index < num_bytes - 1 else " );"
+        ports.append(
+            f"        out_{index} : out std_logic_vector(7 downto 0){terminator}"
+        )
+    ports[0] = ports[0].replace("        ", "  port( ", 1)
+
+    body: List[str] = []
+    for index in range(num_bytes):
+        body.append(f"    t := state_{index} xor key_{index};")
+        body.append(f"    out_{index} <= t;")
+    sensitivity = ", ".join(
+        [f"state_{index}" for index in range(num_bytes)]
+        + [f"key_{index}" for index in range(num_bytes)]
+    )
+    lines = [
+        "entity add_round_key_bytes is",
+        *ports,
+        "end add_round_key_bytes;",
+        "",
+        "architecture unrolled of add_round_key_bytes is",
+        "begin",
+        "  xor_bytes : process",
+        "    variable t : std_logic_vector(7 downto 0);",
+        "  begin",
+        *body,
+        f"    wait on {sensitivity};",
+        "  end process xor_bytes;",
+        "end add_round_key_bytes;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# SubBytes
+# ---------------------------------------------------------------------------
+
+
+def sub_bytes_source(sbox_bits: int = 4, sbox: Sequence[int] = None) -> str:
+    """An S-box lookup as an unrolled ``if``/``elsif`` chain.
+
+    ``sbox_bits`` selects the lookup width (4 by default, 8 for the real AES
+    box); ``sbox`` overrides the table (defaults to :data:`REDUCED_SBOX` for 4
+    bits and the FIPS-197 box for 8 bits).
+    """
+    if sbox is None:
+        if sbox_bits == 4:
+            sbox = REDUCED_SBOX
+        else:
+            from repro.aes.reference import SBOX
+
+            sbox = SBOX
+    size = 1 << sbox_bits
+    if len(sbox) != size:
+        raise ValueError(f"S-box must have {size} entries for {sbox_bits}-bit lookups")
+
+    branches: List[str] = []
+    for value in range(size):
+        keyword = "if" if value == 0 else "elsif"
+        branches.append(
+            f"    {keyword} nibble_i = {_bits(value, sbox_bits)} then"
+        )
+        branches.append(f"      t := {_bits(sbox[value], sbox_bits)};")
+    branches.append("    else")
+    branches.append(f"      t := {_bits(0, sbox_bits)};")
+    branches.append("    end if;")
+
+    high = sbox_bits - 1
+    lines = [
+        "entity sub_bytes is",
+        f"  port( nibble_i : in std_logic_vector({high} downto 0);",
+        f"        nibble_o : out std_logic_vector({high} downto 0) );",
+        "end sub_bytes;",
+        "",
+        "architecture unrolled of sub_bytes is",
+        "begin",
+        "  lookup : process",
+        f"    variable t : std_logic_vector({high} downto 0);",
+        "  begin",
+        *branches,
+        "    nibble_o <= t;",
+        "    wait on nibble_i;",
+        "  end process lookup;",
+        "end sub_bytes;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# MixColumns (single column)
+# ---------------------------------------------------------------------------
+
+
+def _xtime_lines(result: str, operand: str) -> List[str]:
+    """Emit ``result := xtime(operand)`` using shifts and the AES polynomial."""
+    return [
+        f"    {result} := {operand}(6 downto 0) & '0';",
+        f"    if {operand}(7) = '1' then",
+        f"      {result} := {result} xor \"00011011\";",
+        "    else",
+        "      null;",
+        "    end if;",
+    ]
+
+
+def mix_column_source() -> str:
+    """MixColumns applied to a single column of four byte ports.
+
+    Each output byte is ``02·c_r ⊕ 03·c_{r+1} ⊕ c_{r+2} ⊕ c_{r+3}``; the
+    ``xtime`` helper is unrolled with shared temporaries ``d0 … d3`` holding
+    the doubled bytes.
+    """
+    body: List[str] = []
+    for index in range(4):
+        body.extend(_xtime_lines(f"d{index}", f"c{index}_i"))
+    outputs = [
+        "    c0_o <= d0 xor (d1 xor c1_i) xor c2_i xor c3_i;",
+        "    c1_o <= c0_i xor d1 xor (d2 xor c2_i) xor c3_i;",
+        "    c2_o <= c0_i xor c1_i xor d2 xor (d3 xor c3_i);",
+        "    c3_o <= (d0 xor c0_i) xor c1_i xor c2_i xor d3;",
+    ]
+    ports = []
+    for index in range(4):
+        ports.append(f"        c{index}_i : in std_logic_vector(7 downto 0);")
+    for index in range(4):
+        terminator = ";" if index < 3 else " );"
+        ports.append(
+            f"        c{index}_o : out std_logic_vector(7 downto 0){terminator}"
+        )
+    ports[0] = ports[0].replace("        ", "  port( ", 1)
+    lines = [
+        "entity mix_column is",
+        *ports,
+        "end mix_column;",
+        "",
+        "architecture unrolled of mix_column is",
+        "begin",
+        "  mix : process",
+        "    variable d0 : std_logic_vector(7 downto 0);",
+        "    variable d1 : std_logic_vector(7 downto 0);",
+        "    variable d2 : std_logic_vector(7 downto 0);",
+        "    variable d3 : std_logic_vector(7 downto 0);",
+        "  begin",
+        *body,
+        *outputs,
+        "    wait on c0_i, c1_i, c2_i, c3_i;",
+        "  end process mix;",
+        "end mix_column;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Key schedule step (simplified: RotWord + Rcon, no SubWord)
+# ---------------------------------------------------------------------------
+
+
+def key_schedule_step_source(rcon: int = 0x01) -> str:
+    """One AES-128 key-schedule step over four 32-bit word ports.
+
+    The step computes ``w4 = w0 ⊕ rot(w3) ⊕ rcon``, ``w5 = w1 ⊕ w4``,
+    ``w6 = w2 ⊕ w5`` and ``w7 = w3 ⊕ w6``.  The byte substitution (SubWord) is
+    omitted so the generated code stays within VHDL1's operators; the
+    information-flow structure (each output word depends on all previous
+    words) is unchanged by that simplification.
+    """
+    rcon_word = _bits(rcon << 24, 32)
+    lines = [
+        "entity key_schedule_step is",
+        "  port( w0_i : in std_logic_vector(31 downto 0);",
+        "        w1_i : in std_logic_vector(31 downto 0);",
+        "        w2_i : in std_logic_vector(31 downto 0);",
+        "        w3_i : in std_logic_vector(31 downto 0);",
+        "        w4_o : out std_logic_vector(31 downto 0);",
+        "        w5_o : out std_logic_vector(31 downto 0);",
+        "        w6_o : out std_logic_vector(31 downto 0);",
+        "        w7_o : out std_logic_vector(31 downto 0) );",
+        "end key_schedule_step;",
+        "",
+        "architecture unrolled of key_schedule_step is",
+        "begin",
+        "  expand : process",
+        "    variable rotated : std_logic_vector(31 downto 0);",
+        "    variable t4 : std_logic_vector(31 downto 0);",
+        "    variable t5 : std_logic_vector(31 downto 0);",
+        "    variable t6 : std_logic_vector(31 downto 0);",
+        "    variable t7 : std_logic_vector(31 downto 0);",
+        "  begin",
+        "    rotated := w3_i(23 downto 0) & w3_i(31 downto 24);",
+        f"    t4 := w0_i xor rotated xor {rcon_word};",
+        "    t5 := w1_i xor t4;",
+        "    t6 := w2_i xor t5;",
+        "    t7 := w3_i xor t6;",
+        "    w4_o <= t4;",
+        "    w5_o <= t5;",
+        "    w6_o <= t6;",
+        "    w7_o <= t7;",
+        "    wait on w0_i, w1_i, w2_i, w3_i;",
+        "  end process expand;",
+        "end key_schedule_step;",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Three-stage round pipeline (multi-process workload)
+# ---------------------------------------------------------------------------
+
+
+def aes_round_source() -> str:
+    """A three-process pipeline communicating through internal signals.
+
+    Stage 1 adds the round key, stage 2 performs ShiftRows, stage 3 drives the
+    output port.  The stages synchronise through the internal signals
+    ``after_ark`` and ``after_sr`` — a workload for the cross-process parts of
+    the analysis (Table 5's cross-flow relation and Table 8's synchronised
+    values rule).
+    """
+    shift_assignments: List[str] = []
+    for row in range(4):
+        for column in range(4):
+            source_column = (column + row) % 4
+            destination = 4 * column + row
+            source = 4 * source_column + row
+            shift_assignments.append(
+                f"    after_sr{_byte_slice(destination)} <= after_ark{_byte_slice(source)};"
+            )
+    lines = [
+        "entity aes_round is",
+        "  port( state_i : in std_logic_vector(127 downto 0);",
+        "        key_i   : in std_logic_vector(127 downto 0);",
+        "        state_o : out std_logic_vector(127 downto 0) );",
+        "end aes_round;",
+        "",
+        "architecture pipelined of aes_round is",
+        "  signal after_ark : std_logic_vector(127 downto 0);",
+        "  signal after_sr  : std_logic_vector(127 downto 0);",
+        "begin",
+        "  ark : process",
+        "  begin",
+        "    after_ark <= state_i xor key_i;",
+        "    wait on state_i, key_i;",
+        "  end process ark;",
+        "",
+        "  sr : process",
+        "  begin",
+        *shift_assignments,
+        "    wait on after_ark;",
+        "  end process sr;",
+        "",
+        "  drive : process",
+        "  begin",
+        "    state_o <= after_sr;",
+        "    wait on after_sr;",
+        "  end process drive;",
+        "end pipelined;",
+    ]
+    return "\n".join(lines) + "\n"

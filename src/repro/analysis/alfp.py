@@ -1,0 +1,233 @@
+"""ALFP-style encoding of the closure rules, solved with :mod:`repro.solver`.
+
+The paper implements Tables 7–9 as clauses for the Succinct Solver.  This
+module reproduces that encoding on the replacement solver: the analysis inputs
+(the local Resource Matrix, the Reaching Definitions results, the cross-flow
+co-occurrence relation, the port classification) become facts, the rules of
+Tables 7, 8 and 9 become definite Horn clauses, and the least model's
+``rm_gl`` relation is read back as a :class:`ResourceMatrix`.
+
+The direct implementations (:mod:`repro.analysis.closure`,
+:mod:`repro.analysis.improved`) remain the primary path; this encoding exists
+to mirror the paper's implementation strategy and to cross-check the direct
+code (benchmark E6, ``tests/test_alfp.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.improved import allocate_outgoing_labels
+from repro.analysis.reaching_active import ActiveSignalsResult
+from repro.analysis.reaching_defs import INITIAL_LABEL, ReachingDefinitionsResult
+from repro.analysis.resource_matrix import (
+    Access,
+    ResourceMatrix,
+    incoming_node,
+    outgoing_node,
+)
+from repro.cfg.builder import ProgramCFG
+from repro.solver.clauses import Rule
+from repro.solver.engine import Database, SolverEngine
+from repro.solver.terms import Atom, Constant
+from repro.vhdl.elaborate import Design
+
+#: Predicate names used by the encoding (kept close to the paper's notation).
+RM_LO = "rm_lo"
+RM_GL = "rm_gl"
+RD_ENTRY = "rd_entry"          # (n, l_def, l_use): (n, l_def) ∈ RDcf_entry(l_use)
+RD_PHI_ENTRY = "rd_phi_entry"  # (s, l_def, l_wait): (s, l_def) ∈ RD∪ϕ_entry(l_wait)
+RD_DAGGER = "rd_dagger"        # RD†
+RD_DAGGER_PHI = "rd_dagger_phi"  # RD†ϕ
+OCCURS_IN_CF = "occurs_in_cf"
+COOCCUR = "cooccur"
+WS = "ws"
+IS_INITIAL = "is_initial"
+IN_PORT = "in_port"
+INCOMING_NAME = "incoming_name"
+OUTGOING_LABEL = "outgoing_label"
+
+
+def _add_input_facts(
+    engine: SolverEngine,
+    program_cfg: ProgramCFG,
+    rm_lo: ResourceMatrix,
+    active: Dict[str, ActiveSignalsResult],
+    reaching: ReachingDefinitionsResult,
+) -> None:
+    """Materialise the analysis inputs as facts."""
+    for entry in rm_lo:
+        engine.add_fact(RM_LO, entry.name, entry.label, entry.access.value)
+
+    for label in program_cfg.labels:
+        for name, def_label in reaching.entry_of(label):
+            engine.add_fact(RD_ENTRY, name, def_label, label)
+
+    for wait_label in program_cfg.wait_labels:
+        owner = program_cfg.process_of_label(wait_label)
+        for signal, def_label in active[owner].over_entry_of(wait_label):
+            engine.add_fact(RD_PHI_ENTRY, signal, def_label, wait_label)
+        if program_cfg.label_occurs_in_cross_flow(wait_label):
+            engine.add_fact(OCCURS_IN_CF, wait_label)
+        engine.add_fact(WS, wait_label)
+
+    for li in program_cfg.wait_labels:
+        for lj in program_cfg.wait_labels:
+            if program_cfg.labels_cooccur_in_cross_flow(li, lj):
+                engine.add_fact(COOCCUR, li, lj)
+
+    engine.add_fact(IS_INITIAL, INITIAL_LABEL)
+
+
+def _add_table7_rules(engine: SolverEngine) -> None:
+    """The specialisation rules of Table 7."""
+    engine.add_rule(
+        Rule(
+            name="RD for active signals",
+            head=Atom.of(RD_DAGGER_PHI, "S", "Ldef", "Lwait"),
+            body=(
+                Atom.of(RM_LO, "S", "Lwait", Constant("R1")),
+                Atom.of(RD_PHI_ENTRY, "S", "Ldef", "Lwait"),
+                Atom.of(OCCURS_IN_CF, "Lwait"),
+            ),
+        )
+    )
+    engine.add_rule(
+        Rule(
+            name="RD for present signals and local variables",
+            head=Atom.of(RD_DAGGER, "N", "Ldef", "Luse"),
+            body=(
+                Atom.of(RM_LO, "N", "Luse", Constant("R0")),
+                Atom.of(RD_ENTRY, "N", "Ldef", "Luse"),
+            ),
+        )
+    )
+
+
+def _add_table8_rules(engine: SolverEngine) -> None:
+    """The closure rules of Table 8."""
+    for access in ("R0", "R1", "M0", "M1"):
+        engine.add_rule(
+            Rule(
+                name=f"Initialization ({access})",
+                head=Atom.of(RM_GL, "N", "L", Constant(access)),
+                body=(Atom.of(RM_LO, "N", "L", Constant(access)),),
+            )
+        )
+    engine.add_rule(
+        Rule(
+            name="Present values and local variables",
+            head=Atom.of(RM_GL, "N", "L", Constant("R0")),
+            body=(
+                Atom.of(RD_DAGGER, "Np", "Lp", "L"),
+                Atom.of(RM_GL, "N", "Lp", Constant("R0")),
+            ),
+        )
+    )
+    engine.add_rule(
+        Rule(
+            name="Synchronized values",
+            head=Atom.of(RM_GL, "S", "L", Constant("R0")),
+            body=(
+                Atom.of(RD_DAGGER, "Sp", "Li", "L"),
+                Atom.of(COOCCUR, "Li", "Lj"),
+                Atom.of(RD_DAGGER_PHI, "Sp", "Lpp", "Lj"),
+                Atom.of(RM_GL, "S", "Lpp", Constant("R0")),
+            ),
+        )
+    )
+
+
+def _add_table9_facts_and_rules(
+    engine: SolverEngine,
+    design: Design,
+    outgoing_labels: Dict[str, int],
+) -> None:
+    """The improved-analysis rules of Table 9."""
+    resources = set(design.signals) | set(design.variable_names())
+    for name in resources:
+        engine.add_fact(INCOMING_NAME, name, incoming_node(name))
+    for name in design.input_ports:
+        engine.add_fact(IN_PORT, name)
+    for name, label in outgoing_labels.items():
+        engine.add_fact(OUTGOING_LABEL, name, label)
+        engine.add_fact(RM_GL, outgoing_node(name), label, Constant("M1"))  # [Outgoing values]
+
+    engine.add_rule(
+        Rule(
+            name="Initial values",
+            head=Atom.of(RM_GL, "Ninc", "L", Constant("R0")),
+            body=(
+                Atom.of(RD_DAGGER, "N", "Q", "L"),
+                Atom.of(IS_INITIAL, "Q"),
+                Atom.of(INCOMING_NAME, "N", "Ninc"),
+            ),
+        )
+    )
+    engine.add_rule(
+        Rule(
+            name="Incoming values",
+            head=Atom.of(RM_GL, "Ninc", "L", Constant("R0")),
+            body=(
+                Atom.of(RD_DAGGER, "N", "Lw", "L"),
+                Atom.of(WS, "Lw"),
+                Atom.of(IN_PORT, "N"),
+                Atom.of(INCOMING_NAME, "N", "Ninc"),
+            ),
+        )
+    )
+    engine.add_rule(
+        Rule(
+            name="Outcoming values",
+            head=Atom.of(RM_GL, "Np", "Lout", Constant("R0")),
+            body=(
+                Atom.of(WS, "L"),
+                Atom.of(RD_DAGGER_PHI, "N", "Lp", "L"),
+                Atom.of(RM_GL, "Np", "Lp", Constant("R0")),
+                Atom.of(OUTGOING_LABEL, "N", "Lout"),
+            ),
+        )
+    )
+
+
+def encode(
+    program_cfg: ProgramCFG,
+    rm_lo: ResourceMatrix,
+    active: Dict[str, ActiveSignalsResult],
+    reaching: ReachingDefinitionsResult,
+    design: Optional[Design] = None,
+    improved: bool = False,
+) -> SolverEngine:
+    """Build the complete clause system for one analysis run."""
+    engine = SolverEngine()
+    _add_input_facts(engine, program_cfg, rm_lo, active, reaching)
+    _add_table7_rules(engine)
+    _add_table8_rules(engine)
+    if improved:
+        if design is None:
+            raise ValueError("the improved encoding needs the design for its ports")
+        outgoing_labels = allocate_outgoing_labels(program_cfg, design)
+        _add_table9_facts_and_rules(engine, design, outgoing_labels)
+    return engine
+
+
+def resource_matrix_from_database(database: Database) -> ResourceMatrix:
+    """Read the ``rm_gl`` relation of the least model back into a matrix."""
+    matrix = ResourceMatrix()
+    for name, label, access in database.relation(RM_GL):
+        matrix.add(name, label, Access(access))
+    return matrix
+
+
+def closure_via_solver(
+    program_cfg: ProgramCFG,
+    rm_lo: ResourceMatrix,
+    active: Dict[str, ActiveSignalsResult],
+    reaching: ReachingDefinitionsResult,
+    design: Optional[Design] = None,
+    improved: bool = False,
+) -> ResourceMatrix:
+    """Solve the clause system and return the global Resource Matrix."""
+    engine = encode(program_cfg, rm_lo, active, reaching, design, improved)
+    database = engine.solve()
+    return resource_matrix_from_database(database)

@@ -1,0 +1,159 @@
+"""High-level entry points tying the whole pipeline together.
+
+A full analysis run performs, in order:
+
+1. parse and elaborate the VHDL1 source (:mod:`repro.vhdl`);
+2. label the processes and build the CFGs and cross-flow relation
+   (:mod:`repro.cfg`);
+3. run the active-signals Reaching Definitions analysis per process (Table 4)
+   and the whole-program Reaching Definitions analysis (Table 5);
+4. compute the local Resource Matrix (Table 6) and specialise the RD results
+   (Table 7);
+5. close the Resource Matrix (Table 8), optionally with the improved rules for
+   incoming/outgoing values (Table 9);
+6. build the information-flow graph.
+
+:func:`analyze` runs the improved analysis on source text; :func:`analyze_design`
+does the same for an already elaborated design; :func:`analyze_kemmerer` runs
+the baseline.  All intermediate artefacts are exposed on the returned
+:class:`AnalysisResult` so examples, benchmarks and tests can inspect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.closure import ClosureResult, global_resource_matrix
+from repro.analysis.flowgraph import FlowGraph
+from repro.analysis.improved import ImprovedClosureResult, improved_global_resource_matrix
+from repro.analysis.kemmerer import KemmererResult, kemmerer_analysis
+from repro.analysis.local_deps import local_resource_matrix
+from repro.analysis.reaching_active import ActiveSignalsResult, analyze_all_active_signals
+from repro.analysis.reaching_defs import (
+    ReachingDefinitionsResult,
+    analyze_reaching_definitions,
+)
+from repro.analysis.resource_matrix import ResourceMatrix
+from repro.analysis.specialize import SpecializedRD, specialize
+from repro.cfg.builder import ProgramCFG, build_cfg
+from repro.vhdl.elaborate import Design, elaborate
+from repro.vhdl.parser import parse_program
+
+
+@dataclass
+class AnalysisResult:
+    """All artefacts produced by one Information Flow analysis run."""
+
+    design: Design
+    program_cfg: ProgramCFG
+    active: Dict[str, ActiveSignalsResult]
+    reaching: ReachingDefinitionsResult
+    rm_local: ResourceMatrix
+    specialized: SpecializedRD
+    rm_global: ResourceMatrix
+    graph: FlowGraph
+    improved: bool
+    outgoing_labels: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def flow_graph(self) -> FlowGraph:
+        """Alias for :attr:`graph` (the paper's result artefact)."""
+        return self.graph
+
+    def graph_without_self_loops(self) -> FlowGraph:
+        """The flow graph with trivial ``n → n`` edges removed."""
+        return self.graph.without_self_loops()
+
+    def collapsed_graph(self) -> FlowGraph:
+        """The flow graph with ``n◦``/``n•`` merged back onto ``n``."""
+        return self.graph.collapse_environment_nodes()
+
+    def summary(self) -> str:
+        """Short human-readable description of the run."""
+        cfg_stats = self.program_cfg.summary()
+        return (
+            f"design {self.design.name!r}: {cfg_stats['processes']} processes, "
+            f"{cfg_stats['labels']} blocks, {len(self.rm_local)} local entries, "
+            f"{len(self.rm_global)} global entries, graph: {self.graph.summary()}"
+        )
+
+
+def analyze_design(
+    design: Design,
+    improved: bool = True,
+    loop_processes: bool = True,
+    use_under_approximation: bool = True,
+) -> AnalysisResult:
+    """Run the full Information Flow analysis on an elaborated design.
+
+    ``improved`` selects the Table 9 extension (incoming/outgoing nodes);
+    ``loop_processes=False`` analyses process bodies as straight-line code
+    (the paper's presentation of its sequential example programs);
+    ``use_under_approximation=False`` ablates the ``RD∩ϕ``-driven kill at
+    synchronisation points (Section 4.2), for measuring how much precision the
+    under-approximation contributes.
+    """
+    program_cfg = build_cfg(design, loop_processes=loop_processes)
+    active = analyze_all_active_signals(program_cfg.processes)
+    reaching = analyze_reaching_definitions(
+        program_cfg, active, use_under_approximation=use_under_approximation
+    )
+    rm_local = local_resource_matrix(program_cfg)
+    specialized = specialize(program_cfg, rm_local, active, reaching)
+
+    outgoing_labels: Dict[str, int] = {}
+    if improved:
+        closure: ImprovedClosureResult = improved_global_resource_matrix(
+            program_cfg, rm_local, specialized, design
+        )
+        outgoing_labels = closure.outgoing_labels
+    else:
+        closure = global_resource_matrix(program_cfg, rm_local, specialized)
+
+    graph = FlowGraph.from_resource_matrix(closure.rm_global)
+    return AnalysisResult(
+        design=design,
+        program_cfg=program_cfg,
+        active=active,
+        reaching=reaching,
+        rm_local=rm_local,
+        specialized=specialized,
+        rm_global=closure.rm_global,
+        graph=graph,
+        improved=improved,
+        outgoing_labels=outgoing_labels,
+    )
+
+
+def analyze(
+    source: str,
+    entity_name: Optional[str] = None,
+    improved: bool = True,
+    loop_processes: bool = True,
+    use_under_approximation: bool = True,
+) -> AnalysisResult:
+    """Parse, elaborate and analyse VHDL1 source text."""
+    design = elaborate(parse_program(source), entity_name)
+    return analyze_design(
+        design,
+        improved=improved,
+        loop_processes=loop_processes,
+        use_under_approximation=use_under_approximation,
+    )
+
+
+def analyze_kemmerer_design(
+    design: Design, loop_processes: bool = True
+) -> KemmererResult:
+    """Run Kemmerer's baseline on an elaborated design."""
+    program_cfg = build_cfg(design, loop_processes=loop_processes)
+    return kemmerer_analysis(program_cfg)
+
+
+def analyze_kemmerer(
+    source: str, entity_name: Optional[str] = None, loop_processes: bool = True
+) -> KemmererResult:
+    """Parse, elaborate and run Kemmerer's baseline on VHDL1 source text."""
+    design = elaborate(parse_program(source), entity_name)
+    return analyze_kemmerer_design(design, loop_processes=loop_processes)

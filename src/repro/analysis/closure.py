@@ -1,0 +1,142 @@
+"""Closure of the Resource Matrix driven by Reaching Definitions (Table 8).
+
+The global Resource Matrix ``RM_gl`` is the least set closed under:
+
+* **[Initialization]** — ``RM_lo ⊆ RM_gl``;
+* **[Present values and local variables]** — if the construct at label ``l``
+  uses a definition made at ``l'`` (``(n', l') ∈ RD†(l)``) then everything read
+  at ``l'`` is also (indirectly) read at ``l``:
+  ``(n, l', R0) ∈ RM_gl ⇒ (n, l, R0) ∈ RM_gl``;
+* **[Synchronized values]** — if the present value used at ``l`` was defined at
+  the synchronisation point ``l_i`` (``(s', l_i) ∈ RD†(l)``), and at a
+  synchronisation point ``l_j`` that may synchronise with ``l_i`` the signal's
+  active value may stem from the assignment at ``l''``
+  (``(s', l'') ∈ RD†ϕ(l_j)``), then everything read at ``l''`` is also read at
+  ``l``: ``(s, l'', R0) ∈ RM_gl ⇒ (s, l, R0) ∈ RM_gl``.
+
+Both closure rules have the same shape — *copy every ``R0`` entry from a source
+label to a target label* — so the implementation first derives the set of copy
+edges from ``RD†``/``RD†ϕ`` (they do not change during the closure) and then
+runs a worklist fixpoint that propagates ``R0`` entries along them.  The ALFP
+encoding in :mod:`repro.analysis.alfp` states the rules literally and is
+cross-checked against this implementation in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.analysis.resource_matrix import Access, Entry, ResourceMatrix
+from repro.analysis.specialize import SpecializedRD
+from repro.cfg.builder import ProgramCFG
+
+CopyEdges = Dict[int, Set[int]]
+"""Mapping ``source label -> set of target labels`` for ``R0`` propagation."""
+
+
+@dataclass
+class ClosureResult:
+    """The global Resource Matrix together with the derived copy relation."""
+
+    rm_global: ResourceMatrix
+    copy_edges: CopyEdges = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.rm_global)
+
+
+# ---------------------------------------------------------------------------
+# Copy-edge derivation
+# ---------------------------------------------------------------------------
+
+
+def present_value_edges(specialized: SpecializedRD) -> CopyEdges:
+    """Copy edges contributed by rule [Present values and local variables].
+
+    For every ``(n', l') ∈ RD†(l)`` the reads of label ``l'`` must be copied to
+    label ``l``.
+    """
+    edges: CopyEdges = {}
+    for target, definitions in specialized.present.items():
+        for _, source in definitions:
+            edges.setdefault(source, set()).add(target)
+    return edges
+
+
+def synchronized_value_edges(
+    program_cfg: ProgramCFG, specialized: SpecializedRD
+) -> CopyEdges:
+    """Copy edges contributed by rule [Synchronized values].
+
+    For ``(s', l_i) ∈ RD†(l)`` with ``l_i`` a wait label, and every wait label
+    ``l_j`` co-occurring with ``l_i`` in the cross-flow relation, each active
+    definition ``(s', l'') ∈ RD†ϕ(l_j)`` yields the copy edge ``l'' → l``.
+    """
+    edges: CopyEdges = {}
+    wait_labels = program_cfg.wait_labels
+    for target, definitions in specialized.present.items():
+        for signal, def_label in definitions:
+            if def_label not in wait_labels:
+                continue
+            for sync_label in wait_labels:
+                if not program_cfg.labels_cooccur_in_cross_flow(def_label, sync_label):
+                    continue
+                for active_signal, assign_label in specialized.active_at(sync_label):
+                    if active_signal != signal:
+                        continue
+                    edges.setdefault(assign_label, set()).add(target)
+    return edges
+
+
+def merge_edges(*edge_maps: CopyEdges) -> CopyEdges:
+    """Union several copy-edge maps."""
+    merged: CopyEdges = {}
+    for edges in edge_maps:
+        for source, targets in edges.items():
+            merged.setdefault(source, set()).update(targets)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint
+# ---------------------------------------------------------------------------
+
+
+def propagate(
+    seeds: Iterable[Entry],
+    copy_edges: CopyEdges,
+) -> ResourceMatrix:
+    """Close ``seeds`` under ``R0`` propagation along ``copy_edges``.
+
+    Non-``R0`` entries are kept unchanged; every ``R0`` entry ``(n, l, R0)``
+    with a copy edge ``l → l*`` spawns ``(n, l*, R0)``, transitively.
+    """
+    matrix = ResourceMatrix()
+    worklist: Deque[Entry] = deque()
+    for entry in seeds:
+        if matrix.add_entry(entry) and entry.access is Access.R0:
+            worklist.append(entry)
+
+    while worklist:
+        entry = worklist.popleft()
+        for target in copy_edges.get(entry.label, ()):
+            new_entry = Entry(entry.name, target, Access.R0)
+            if matrix.add_entry(new_entry):
+                worklist.append(new_entry)
+    return matrix
+
+
+def global_resource_matrix(
+    program_cfg: ProgramCFG,
+    rm_lo: ResourceMatrix,
+    specialized: SpecializedRD,
+) -> ClosureResult:
+    """Compute ``RM_gl`` from ``RM_lo`` and the specialised RD results (Table 8)."""
+    copy_edges = merge_edges(
+        present_value_edges(specialized),
+        synchronized_value_edges(program_cfg, specialized),
+    )
+    rm_global = propagate(rm_lo, copy_edges)
+    return ClosureResult(rm_global=rm_global, copy_edges=copy_edges)

@@ -1,0 +1,224 @@
+"""The result artefact of the analysis: a (generally non-transitive) directed
+information-flow graph.
+
+Nodes represent resources (variables and signals, plus the incoming ``n◦`` and
+outgoing ``n•`` nodes of the improved analysis); an edge ``n1 → n2`` records
+that information *might* flow from ``n1`` to ``n2``.  The graph is built from
+a Resource Matrix by connecting, for every label, everything read there to
+everything modified there.
+
+The class also provides the graph algebra the evaluation needs: transitive
+closure (Kemmerer's method), reachability, merging of environment nodes,
+projection onto a node subset, DOT export and structural comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.resource_matrix import (
+    Access,
+    ResourceMatrix,
+    base_resource,
+    is_incoming,
+    is_outgoing,
+)
+
+Edge = Tuple[str, str]
+
+
+@dataclass
+class FlowGraph:
+    """A directed graph over resource names."""
+
+    nodes: Set[str] = field(default_factory=set)
+    edges: Set[Edge] = field(default_factory=set)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_resource_matrix(
+        cls, matrix: ResourceMatrix, include_self_loops: bool = True
+    ) -> "FlowGraph":
+        """Build the flow graph of a (local or global) Resource Matrix.
+
+        For every label ``l`` with a modification entry ``(m, l, M*)`` and a
+        read entry ``(r, l, R*)``, the edge ``r → m`` is added.
+        """
+        graph = cls()
+        for entry in matrix:
+            graph.nodes.add(entry.name)
+        by_label = matrix.index_by_label()
+        for entries in by_label.values():
+            reads = [e.name for e in entries if e.access.is_read]
+            mods = [e.name for e in entries if e.access.is_modify]
+            for modified in mods:
+                for read in reads:
+                    if not include_self_loops and read == modified:
+                        continue
+                    graph.edges.add((read, modified))
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], nodes: Iterable[str] = ()
+    ) -> "FlowGraph":
+        """Build a graph from explicit edges (used by tests and baselines)."""
+        graph = cls()
+        graph.nodes.update(nodes)
+        for src, dst in edges:
+            graph.nodes.add(src)
+            graph.nodes.add(dst)
+            graph.edges.add((src, dst))
+        return graph
+
+    def copy(self) -> "FlowGraph":
+        """An independent copy."""
+        return FlowGraph(nodes=set(self.nodes), edges=set(self.edges))
+
+    # -- basic queries ----------------------------------------------------------
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self.edges
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """True when the direct edge ``source → target`` is present."""
+        return (source, target) in self.edges
+
+    def successors(self, node: str) -> FrozenSet[str]:
+        """Direct successors of ``node``."""
+        return frozenset(dst for src, dst in self.edges if src == node)
+
+    def predecessors(self, node: str) -> FrozenSet[str]:
+        """Direct predecessors of ``node``."""
+        return frozenset(src for src, dst in self.edges if dst == node)
+
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self.edges)
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    # -- reachability and closure --------------------------------------------------
+
+    def reachable_from(self, node: str, include_start: bool = False) -> FrozenSet[str]:
+        """All nodes reachable from ``node`` along one or more edges."""
+        adjacency: Dict[str, List[str]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, []).append(dst)
+        visited: Set[str] = set()
+        stack: List[str] = list(adjacency.get(node, []))
+        while stack:
+            current = stack.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            stack.extend(adjacency.get(current, []))
+        if include_start:
+            visited.add(node)
+        return frozenset(visited)
+
+    def flows_to(self, source: str, target: str) -> bool:
+        """True when there is a (possibly indirect) path ``source → … → target``."""
+        return target in self.reachable_from(source)
+
+    def transitive_closure(self) -> "FlowGraph":
+        """The transitive closure (the essence of Kemmerer's method)."""
+        closure = self.copy()
+        for node in sorted(self.nodes):
+            for reached in self.reachable_from(node):
+                closure.edges.add((node, reached))
+        return closure
+
+    def is_transitive(self) -> bool:
+        """True when the edge relation is already transitively closed.
+
+        The paper stresses that the analysis result is *in general
+        non-transitive*, which is precisely what distinguishes it from
+        Kemmerer's method.
+        """
+        return self.edges == self.transitive_closure().edges
+
+    # -- transformations -------------------------------------------------------------
+
+    def without_self_loops(self) -> "FlowGraph":
+        """Drop ``n → n`` edges (they carry no information-flow content)."""
+        return FlowGraph(
+            nodes=set(self.nodes),
+            edges={(s, t) for s, t in self.edges if s != t},
+        )
+
+    def restricted_to(self, nodes: Iterable[str]) -> "FlowGraph":
+        """The induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        return FlowGraph(
+            nodes=set(self.nodes) & keep,
+            edges={(s, t) for s, t in self.edges if s in keep and t in keep},
+        )
+
+    def renamed(self, mapping: Mapping[str, str]) -> "FlowGraph":
+        """Rename (and thereby possibly merge) nodes according to ``mapping``."""
+        rename = lambda name: mapping.get(name, name)
+        return FlowGraph(
+            nodes={rename(n) for n in self.nodes},
+            edges={(rename(s), rename(t)) for s, t in self.edges},
+        )
+
+    def collapse_environment_nodes(self) -> "FlowGraph":
+        """Merge every ``n◦``/``n•`` node into its base resource ``n``.
+
+        The paper performs exactly this merge before comparing its result with
+        Kemmerer's on the ShiftRows function ("we have merged incoming and
+        outgoing nodes", Section 6).
+        """
+        mapping = {
+            node: base_resource(node)
+            for node in self.nodes
+            if is_incoming(node) or is_outgoing(node)
+        }
+        return self.renamed(mapping)
+
+    # -- comparisons --------------------------------------------------------------------
+
+    def edge_difference(self, other: "FlowGraph") -> FrozenSet[Edge]:
+        """Edges present here but absent from ``other`` (false positives if
+        ``other`` is ground truth)."""
+        return frozenset(self.edges - other.edges)
+
+    def is_subgraph_of(self, other: "FlowGraph") -> bool:
+        """True when every edge of this graph also appears in ``other``."""
+        return self.edges <= other.edges
+
+    # -- export ---------------------------------------------------------------------------
+
+    def to_dot(self, name: str = "information_flow", rankdir: str = "LR") -> str:
+        """Graphviz DOT rendering (environment nodes get distinct shapes)."""
+        lines = [f"digraph {name} {{", f"  rankdir={rankdir};"]
+        for node in sorted(self.nodes):
+            shape = "ellipse"
+            if is_incoming(node):
+                shape = "invhouse"
+            elif is_outgoing(node):
+                shape = "house"
+            lines.append(f'  "{node}" [shape={shape}];')
+        for source, target in sorted(self.edges):
+            lines.append(f'  "{source}" -> "{target}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_adjacency(self) -> Dict[str, List[str]]:
+        """Adjacency-list rendering with sorted successor lists."""
+        adjacency: Dict[str, List[str]] = {node: [] for node in self.nodes}
+        for src, dst in self.edges:
+            adjacency[src].append(dst)
+        return {node: sorted(succs) for node, succs in sorted(adjacency.items())}
+
+    def summary(self) -> str:
+        """One-line description used by the CLI and benchmarks."""
+        return (
+            f"{self.node_count()} nodes, {self.edge_count()} edges, "
+            f"{'transitive' if self.is_transitive() else 'non-transitive'}"
+        )

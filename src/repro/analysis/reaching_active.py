@@ -1,0 +1,137 @@
+"""Reaching Definitions analysis for *active* signal values (Table 4).
+
+The analysis is per process and has two components over the complete lattice
+``P(Sig × Lab)``:
+
+* the **over-approximation** ``RD∪ϕ`` — which assignments *may* have made a
+  signal active when execution reaches a given label; and
+* the **under-approximation** ``RD∩ϕ`` — which assignments *must* have made a
+  signal active.
+
+Both share the same ``kill``/``gen`` functions:
+
+* a signal assignment ``[s <= e]^l`` kills every other active definition of
+  ``s`` in the same process and generates ``(s, l)``;
+* a ``wait`` statement kills *all* active definitions (synchronisation turns
+  active values into present values and clears the delta slot);
+* every other block is the identity.
+
+The under-approximation combines incoming information with the paper's dotted
+intersection ``⋂˙`` (``⋂˙ ∅ = ∅``), which guarantees ``RD∩ϕ ⊆ RD∪ϕ`` in the
+least solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.cfg.builder import ProcessCFG
+from repro.cfg.labels import Block, BlockKind
+from repro.dataflow.framework import DataflowInstance, DataflowSolution, JoinMode
+from repro.dataflow.worklist import solve
+
+SigDef = Tuple[str, int]
+"""A pair ``(signal, label)``: "the assignment at ``label`` made ``signal`` active"."""
+
+
+@dataclass
+class ActiveSignalsResult:
+    """Result of the active-signals analysis for one process."""
+
+    process_name: str
+    over_entry: Dict[int, FrozenSet[SigDef]]
+    over_exit: Dict[int, FrozenSet[SigDef]]
+    under_entry: Dict[int, FrozenSet[SigDef]]
+    under_exit: Dict[int, FrozenSet[SigDef]]
+
+    def over_entry_of(self, label: int) -> FrozenSet[SigDef]:
+        """``RD∪ϕ_entry(l)`` (``∅`` for labels of other processes)."""
+        return self.over_entry.get(label, frozenset())
+
+    def under_entry_of(self, label: int) -> FrozenSet[SigDef]:
+        """``RD∩ϕ_entry(l)`` (``∅`` for labels of other processes)."""
+        return self.under_entry.get(label, frozenset())
+
+    def may_be_active_at(self, label: int) -> FrozenSet[str]:
+        """``fst(RD∪ϕ_entry(l))``: signals that may be active at ``l``."""
+        return frozenset(signal for signal, _ in self.over_entry_of(label))
+
+    def must_be_active_at(self, label: int) -> FrozenSet[str]:
+        """``fst(RD∩ϕ_entry(l))``: signals that must be active at ``l``."""
+        return frozenset(signal for signal, _ in self.under_entry_of(label))
+
+
+# ---------------------------------------------------------------------------
+# kill / gen (Table 4)
+# ---------------------------------------------------------------------------
+
+
+def kill_active(block: Block, cfg: ProcessCFG) -> FrozenSet[SigDef]:
+    """``kill^i_RDϕ`` of Table 4.
+
+    * ``[s <= e]^l`` kills ``{(s, l') | B^{l'} assigns to s in process i}``;
+    * ``[wait on S until e]^l`` kills ``{(s, l') | B^{l'} assigns to s in
+      process i}`` for *every* signal ``s`` (all active definitions die at a
+      synchronisation point);
+    * every other block kills nothing.
+    """
+    if block.kind is BlockKind.SIGNAL_ASSIGN:
+        signal = block.statement.target
+        return frozenset(
+            (signal, label) for label in cfg.assignment_labels_of_signal(signal)
+        )
+    if block.kind is BlockKind.WAIT:
+        killed = set()
+        for other in cfg.blocks.values():
+            if other.kind is BlockKind.SIGNAL_ASSIGN:
+                killed.add((other.statement.target, other.label))
+        return frozenset(killed)
+    return frozenset()
+
+
+def gen_active(block: Block) -> FrozenSet[SigDef]:
+    """``gen^i_RDϕ`` of Table 4: signal assignments generate ``{(s, l)}``."""
+    if block.kind is BlockKind.SIGNAL_ASSIGN:
+        return frozenset({(block.statement.target, block.label)})
+    return frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Analysis driver
+# ---------------------------------------------------------------------------
+
+
+def _build_instance(cfg: ProcessCFG, join_mode: JoinMode) -> DataflowInstance:
+    labels = frozenset(cfg.blocks)
+    kill = {label: kill_active(block, cfg) for label, block in cfg.blocks.items()}
+    gen = {label: gen_active(block) for label, block in cfg.blocks.items()}
+    return DataflowInstance(
+        labels=labels,
+        flow=frozenset(cfg.flow),
+        extremal_labels=frozenset({cfg.entry_label}),
+        extremal_value={cfg.entry_label: frozenset()},
+        kill=kill,
+        gen=gen,
+        join_mode=join_mode,
+    )
+
+
+def analyze_active_signals(cfg: ProcessCFG) -> ActiveSignalsResult:
+    """Run both components of Table 4 on one process and package the result."""
+    over: DataflowSolution = solve(_build_instance(cfg, JoinMode.UNION))
+    under: DataflowSolution = solve(_build_instance(cfg, JoinMode.INTERSECTION_DOTTED))
+    return ActiveSignalsResult(
+        process_name=cfg.name,
+        over_entry=dict(over.entry),
+        over_exit=dict(over.exit),
+        under_entry=dict(under.entry),
+        under_exit=dict(under.exit),
+    )
+
+
+def analyze_all_active_signals(
+    cfgs: Dict[str, ProcessCFG]
+) -> Dict[str, ActiveSignalsResult]:
+    """Run the active-signals analysis for every process of a program."""
+    return {name: analyze_active_signals(cfg) for name, cfg in cfgs.items()}

@@ -1,0 +1,208 @@
+"""The Resource Matrix data structure used by the Information Flow analysis.
+
+The local dependency analysis (Table 6) and the closure rules (Tables 8 and 9)
+manipulate sets ``RM ⊆ (Var ∪ Sig) × Lab × {M0, M1, R0, R1}``:
+
+* ``(n, l, M0)`` — the variable or *present value* of signal ``n`` might be
+  modified at label ``l``;
+* ``(n, l, M1)`` — the *active value* of signal ``n`` might be modified at ``l``;
+* ``(n, l, R0)`` — the variable or present value of ``n`` might be read at ``l``;
+* ``(n, l, R1)`` — the active value of ``n`` is read at ``l`` by the
+  synchronisation performed by a ``wait`` statement.
+
+Resource names for the improved analysis (Table 9) use the suffixes ``◦`` and
+``•`` for incoming and outgoing values; :func:`incoming_node` /
+:func:`outgoing_node` build these names uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class Access(Enum):
+    """The four access kinds recorded in the Resource Matrix."""
+
+    M0 = "M0"
+    """Modification of a variable or of the present value of a signal."""
+
+    M1 = "M1"
+    """Modification of the active value of a signal."""
+
+    R0 = "R0"
+    """Read of a variable or of the present value of a signal."""
+
+    R1 = "R1"
+    """Read of active values by the synchronisation at a ``wait`` statement."""
+
+    @property
+    def is_read(self) -> bool:
+        """True for ``R0``/``R1``."""
+        return self in (Access.R0, Access.R1)
+
+    @property
+    def is_modify(self) -> bool:
+        """True for ``M0``/``M1``."""
+        return self in (Access.M0, Access.M1)
+
+
+INCOMING_SUFFIX = "○"  # ◦ (white circle)
+OUTGOING_SUFFIX = "•"  # • (bullet)
+
+
+def incoming_node(name: str) -> str:
+    """The incoming-value node ``n◦`` of resource ``name`` (Section 5.3)."""
+    return f"{name}{INCOMING_SUFFIX}"
+
+
+def outgoing_node(name: str) -> str:
+    """The outgoing-value node ``n•`` of resource ``name`` (Section 5.3)."""
+    return f"{name}{OUTGOING_SUFFIX}"
+
+
+def base_resource(name: str) -> str:
+    """Strip a ``◦``/``•`` suffix, returning the underlying resource name."""
+    if name.endswith(INCOMING_SUFFIX) or name.endswith(OUTGOING_SUFFIX):
+        return name[:-1]
+    return name
+
+
+def is_incoming(name: str) -> bool:
+    """True when ``name`` is an incoming node ``n◦``."""
+    return name.endswith(INCOMING_SUFFIX)
+
+
+def is_outgoing(name: str) -> bool:
+    """True when ``name`` is an outgoing node ``n•``."""
+    return name.endswith(OUTGOING_SUFFIX)
+
+
+@dataclass(frozen=True, order=True)
+class Entry:
+    """A single Resource Matrix entry ``(name, label, access)``."""
+
+    name: str
+    label: int
+    access: Access
+
+    def __repr__(self) -> str:
+        return f"({self.name}, {self.label}, {self.access.value})"
+
+
+class ResourceMatrix:
+    """A mutable set of :class:`Entry` records with the lookups the rules need."""
+
+    def __init__(self, entries: Optional[Iterable[Entry]] = None):
+        self._entries: Set[Entry] = set(entries or ())
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __contains__(self, entry: Entry) -> bool:
+        return entry in self._entries
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResourceMatrix):
+            return self._entries == other._entries
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ResourceMatrix({len(self._entries)} entries)"
+
+    def copy(self) -> "ResourceMatrix":
+        """A shallow copy (entries are immutable)."""
+        return ResourceMatrix(self._entries)
+
+    def entries(self) -> FrozenSet[Entry]:
+        """The entry set as a frozenset."""
+        return frozenset(self._entries)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def add(self, name: str, label: int, access: Access) -> bool:
+        """Add an entry; returns True when it was not already present."""
+        entry = Entry(name, label, access)
+        if entry in self._entries:
+            return False
+        self._entries.add(entry)
+        return True
+
+    def add_entry(self, entry: Entry) -> bool:
+        """Add a pre-built entry; returns True when it was not already present."""
+        if entry in self._entries:
+            return False
+        self._entries.add(entry)
+        return True
+
+    def update(self, other: "ResourceMatrix") -> None:
+        """In-place union with another matrix."""
+        self._entries |= other._entries
+
+    def union(self, other: "ResourceMatrix") -> "ResourceMatrix":
+        """The union of two matrices as a new matrix."""
+        return ResourceMatrix(self._entries | other._entries)
+
+    # -- lookups used by the closure rules ----------------------------------------------
+
+    def labels(self) -> FrozenSet[int]:
+        """All labels mentioned by some entry."""
+        return frozenset(entry.label for entry in self._entries)
+
+    def names(self) -> FrozenSet[str]:
+        """All resource names mentioned by some entry."""
+        return frozenset(entry.name for entry in self._entries)
+
+    def at_label(self, label: int) -> List[Entry]:
+        """All entries at ``label``."""
+        return [entry for entry in self._entries if entry.label == label]
+
+    def reads_at(self, label: int) -> List[Entry]:
+        """Read entries (``R0``/``R1``) at ``label``."""
+        return [
+            entry
+            for entry in self._entries
+            if entry.label == label and entry.access.is_read
+        ]
+
+    def modifications_at(self, label: int) -> List[Entry]:
+        """Modification entries (``M0``/``M1``) at ``label``."""
+        return [
+            entry
+            for entry in self._entries
+            if entry.label == label and entry.access.is_modify
+        ]
+
+    def with_access(self, access: Access) -> List[Entry]:
+        """All entries with the given access kind."""
+        return [entry for entry in self._entries if entry.access is access]
+
+    def reads_of(self, name: str, access: Access = Access.R0) -> List[Entry]:
+        """All entries reading ``name`` with the given access kind."""
+        return [
+            entry
+            for entry in self._entries
+            if entry.name == name and entry.access is access
+        ]
+
+    def index_by_label(self) -> Dict[int, List[Entry]]:
+        """Entries grouped by label (used for efficient closure iteration)."""
+        grouped: Dict[int, List[Entry]] = {}
+        for entry in self._entries:
+            grouped.setdefault(entry.label, []).append(entry)
+        return grouped
+
+    # -- rendering -------------------------------------------------------------------
+
+    def to_table(self) -> str:
+        """Human-readable rendering, sorted by label then name."""
+        lines = ["label  access  resource"]
+        for entry in sorted(self._entries, key=lambda e: (e.label, e.access.value, e.name)):
+            lines.append(f"{entry.label:>5}  {entry.access.value:<6}  {entry.name}")
+        return "\n".join(lines)

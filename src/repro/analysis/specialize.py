@@ -1,0 +1,78 @@
+"""Specialisation of the Reaching Definitions results (Table 7).
+
+Before the closure is performed, the RD results are restricted to definitions
+that are *actually used* at the labelled construct, by consulting the local
+Resource Matrix ``RM_lo``:
+
+* ``RD†ϕ(l_i)`` — for a wait label ``l_i`` whose synchronisation reads the
+  active value of ``s`` (``(s, l_i, R1) ∈ RM_lo``), the definitions
+  ``(s, l) ∈ RD∪ϕ_entry(l_i)`` are kept, provided ``l_i`` occurs in some
+  cross-flow tuple (the signal might in fact be synchronised);
+* ``RD†(l')`` — for a label ``l'`` that reads the present value of ``n``
+  (``(n, l', R0) ∈ RM_lo``), the definitions ``(n, l) ∈ RDcf_entry(l')`` are
+  kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.analysis.local_deps import ResourceMatrix
+from repro.analysis.reaching_active import ActiveSignalsResult
+from repro.analysis.reaching_defs import ReachingDefinitionsResult
+from repro.analysis.resource_matrix import Access
+from repro.cfg.builder import ProgramCFG
+
+ResourceDef = Tuple[str, int]
+
+
+@dataclass
+class SpecializedRD:
+    """The specialised relations ``RD†`` and ``RD†ϕ`` indexed by label."""
+
+    present: Dict[int, FrozenSet[ResourceDef]] = field(default_factory=dict)
+    active: Dict[int, FrozenSet[ResourceDef]] = field(default_factory=dict)
+
+    def present_at(self, label: int) -> FrozenSet[ResourceDef]:
+        """``RD†(l)``: used definitions of present values / variables at ``l``."""
+        return self.present.get(label, frozenset())
+
+    def active_at(self, label: int) -> FrozenSet[ResourceDef]:
+        """``RD†ϕ(l)``: used definitions of active signal values at wait ``l``."""
+        return self.active.get(label, frozenset())
+
+
+def specialize(
+    program_cfg: ProgramCFG,
+    rm_lo: ResourceMatrix,
+    active: Dict[str, ActiveSignalsResult],
+    reaching: ReachingDefinitionsResult,
+) -> SpecializedRD:
+    """Apply both rules of Table 7 and return ``RD†`` / ``RD†ϕ``."""
+    result = SpecializedRD()
+
+    # [RD for active signals]
+    active_defs: Dict[int, Set[ResourceDef]] = {}
+    for entry in rm_lo.with_access(Access.R1):
+        wait_label = entry.label
+        if not program_cfg.label_occurs_in_cross_flow(wait_label):
+            continue
+        owner = program_cfg.process_of_label(wait_label)
+        over_entry = active[owner].over_entry_of(wait_label)
+        used = {(s, l) for (s, l) in over_entry if s == entry.name}
+        if used:
+            active_defs.setdefault(wait_label, set()).update(used)
+    result.active = {label: frozenset(defs) for label, defs in active_defs.items()}
+
+    # [RD for present signals and local variables]
+    present_defs: Dict[int, Set[ResourceDef]] = {}
+    for entry in rm_lo.with_access(Access.R0):
+        label = entry.label
+        rd_entry = reaching.entry_of(label)
+        used = {(n, l) for (n, l) in rd_entry if n == entry.name}
+        if used:
+            present_defs.setdefault(label, set()).update(used)
+    result.present = {label: frozenset(defs) for label, defs in present_defs.items()}
+
+    return result

@@ -1,0 +1,22 @@
+"""Control-flow representation shared by all analyses (Section 4, "common
+analysis domains").
+
+The paper adopts the labelling scheme, the ``blocks``/``flow``/``init``
+functions and the isolated-entries convention of *Principles of Program
+Analysis* [9], extended with labelled ``wait`` statements and a *cross-flow*
+relation ``cf`` (the Cartesian product of the ``wait`` labels of the different
+processes) that models which synchronisation points may synchronise with which.
+"""
+
+from repro.cfg.labels import Block, BlockKind, LabelAllocator
+from repro.cfg.builder import ProcessCFG, ProgramCFG, build_cfg, build_process_cfg
+
+__all__ = [
+    "Block",
+    "BlockKind",
+    "LabelAllocator",
+    "ProcessCFG",
+    "ProgramCFG",
+    "build_cfg",
+    "build_process_cfg",
+]

@@ -1,0 +1,166 @@
+"""Command-line interface: ``vhdl-ifa``.
+
+Subcommands
+-----------
+``analyze FILE``
+    Run the (improved) Information Flow analysis and print the flow graph as
+    an adjacency list or DOT.
+``kemmerer FILE``
+    Run Kemmerer's baseline for comparison.
+``check FILE --secret S --output O``
+    Run the analysis and check a two-level policy (the listed secrets must not
+    flow to the listed outputs); exits with status 1 when a violation is found.
+``simulate FILE --set PORT=VALUE``
+    Execute the design with the delta-cycle simulator and print the final
+    signal values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.api import analyze, analyze_kemmerer
+from repro.errors import ReproError
+from repro.security.policy import TwoLevelPolicy
+from repro.security.report import build_report
+from repro.semantics.simulator import Simulator
+from repro.vhdl.elaborate import elaborate
+from repro.vhdl.parser import parse_program
+from repro.vhdl.stdlogic import value_to_string
+
+
+def _read_source(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    result = analyze(
+        _read_source(args.file),
+        entity_name=args.entity,
+        improved=not args.basic,
+        loop_processes=not args.straight_line,
+    )
+    graph = result.graph if args.self_loops else result.graph_without_self_loops()
+    if args.collapse:
+        graph = graph.collapse_environment_nodes()
+    print(result.summary())
+    if args.dot:
+        print(graph.to_dot())
+    else:
+        for node, successors in graph.to_adjacency().items():
+            print(f"  {node} -> {', '.join(successors) if successors else '(none)'}")
+    return 0
+
+
+def _cmd_kemmerer(args: argparse.Namespace) -> int:
+    result = analyze_kemmerer(
+        _read_source(args.file),
+        entity_name=args.entity,
+        loop_processes=not args.straight_line,
+    )
+    graph = result.graph.without_self_loops()
+    print(f"Kemmerer's method: {graph.summary()}")
+    if args.dot:
+        print(graph.to_dot("kemmerer"))
+    else:
+        for node, successors in graph.to_adjacency().items():
+            print(f"  {node} -> {', '.join(successors) if successors else '(none)'}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    result = analyze(_read_source(args.file), entity_name=args.entity)
+    policy = TwoLevelPolicy(secret_resources=args.secret)
+    report = build_report(
+        result,
+        policy,
+        transitive=args.transitive,
+        restrict_to_ports=args.ports_only,
+    )
+    print(report.to_text())
+    return 0 if report.is_clean else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    design = elaborate(parse_program(_read_source(args.file)), args.entity)
+    simulator = Simulator(design)
+    simulator.run(args.max_deltas)
+    for setting in args.set or []:
+        if "=" not in setting:
+            raise ReproError(f"--set expects PORT=VALUE, got {setting!r}")
+        name, value = setting.split("=", 1)
+        simulator.drive(name.strip(), value.strip())
+    simulator.run(args.max_deltas)
+    print(f"delta cycles: {simulator.delta_cycles}")
+    for name, value in sorted(simulator.signal_snapshot().items()):
+        print(f"  {name} = {value_to_string(value)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the test suite)."""
+    parser = argparse.ArgumentParser(
+        prog="vhdl-ifa",
+        description="Information Flow analysis for VHDL1 (Tolstrup/Nielson/Nielson, PaCT 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze_p = sub.add_parser("analyze", help="run the information-flow analysis")
+    analyze_p.add_argument("file", help="VHDL1 source file")
+    analyze_p.add_argument("--entity", help="entity to elaborate", default=None)
+    analyze_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
+    analyze_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
+    analyze_p.add_argument("--dot", action="store_true", help="emit Graphviz DOT instead of an adjacency list")
+    analyze_p.add_argument("--collapse", action="store_true", help="merge incoming/outgoing nodes into their resources")
+    analyze_p.add_argument("--self-loops", action="store_true", help="keep trivial self loops")
+    analyze_p.set_defaults(handler=_cmd_analyze)
+
+    kem_p = sub.add_parser("kemmerer", help="run Kemmerer's baseline method")
+    kem_p.add_argument("file", help="VHDL1 source file")
+    kem_p.add_argument("--entity", default=None)
+    kem_p.add_argument("--straight-line", action="store_true")
+    kem_p.add_argument("--dot", action="store_true")
+    kem_p.set_defaults(handler=_cmd_kemmerer)
+
+    check_p = sub.add_parser("check", help="check a two-level confidentiality policy")
+    check_p.add_argument("file", help="VHDL1 source file")
+    check_p.add_argument("--entity", default=None)
+    check_p.add_argument("--secret", action="append", default=[], help="resource holding secret data (repeatable)")
+    check_p.add_argument(
+        "--transitive",
+        action="store_true",
+        help="check paths instead of direct edges (Kemmerer-style, conservative)",
+    )
+    check_p.add_argument(
+        "--ports-only",
+        action="store_true",
+        help="only report flows whose endpoints are entity ports",
+    )
+    check_p.set_defaults(handler=_cmd_check)
+
+    sim_p = sub.add_parser("simulate", help="run the delta-cycle simulator")
+    sim_p.add_argument("file", help="VHDL1 source file")
+    sim_p.add_argument("--entity", default=None)
+    sim_p.add_argument("--set", action="append", help="drive an input port, e.g. --set a=1010")
+    sim_p.add_argument("--max-deltas", type=int, default=1000)
+    sim_p.set_defaults(handler=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

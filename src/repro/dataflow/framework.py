@@ -1,0 +1,104 @@
+"""Description of a Monotone Framework instance over a powerset lattice.
+
+An instance packages exactly the ingredients used in Tables 4 and 5 of the
+paper:
+
+* a finite set of labels and a flow relation over them;
+* the extremal labels and the extremal value ``ι`` attached to them;
+* ``kill`` and ``gen`` sets per label (the transfer functions are the usual
+  bit-vector ``exit(l) = (entry(l) \\ kill(l)) ∪ gen(l)``);
+* a *join mode*: either ``UNION`` (may analyses, e.g. ``RD∪``) or
+  ``INTERSECTION_DOTTED`` (the paper's ``⋂˙`` used by the under-approximation
+  ``RD∩``, where a join over the empty set yields ``∅`` rather than the top
+  element, guaranteeing ``RD∩ ⊆ RD∪`` in the least solution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, Generic, Iterable, Mapping, Set, Tuple, TypeVar
+
+Fact = TypeVar("Fact")
+Label = int
+Edge = Tuple[Label, Label]
+
+EMPTY: frozenset = frozenset()
+
+
+class JoinMode(Enum):
+    """How information from several incoming edges is combined."""
+
+    UNION = "union"
+    INTERSECTION_DOTTED = "intersection-dotted"
+
+
+@dataclass
+class DataflowInstance(Generic[Fact]):
+    """A forward Monotone Framework instance with bit-vector transfer functions."""
+
+    labels: FrozenSet[Label]
+    flow: FrozenSet[Edge]
+    extremal_labels: FrozenSet[Label]
+    extremal_value: Mapping[Label, FrozenSet[Fact]]
+    kill: Mapping[Label, FrozenSet[Fact]]
+    gen: Mapping[Label, FrozenSet[Fact]]
+    join_mode: JoinMode = JoinMode.UNION
+
+    def __post_init__(self) -> None:
+        missing = {src for src, _ in self.flow} | {dst for _, dst in self.flow}
+        missing -= set(self.labels)
+        if missing:
+            raise ValueError(f"flow mentions labels not in the label set: {sorted(missing)}")
+        unknown_extremal = set(self.extremal_labels) - set(self.labels)
+        if unknown_extremal:
+            raise ValueError(
+                f"extremal labels not in the label set: {sorted(unknown_extremal)}"
+            )
+
+    # -- helpers used by the solver ------------------------------------------------
+
+    def predecessors(self, label: Label) -> Tuple[Label, ...]:
+        """Labels with an edge into ``label`` (cached lazily by the solver)."""
+        return tuple(src for src, dst in self.flow if dst == label)
+
+    def transfer(self, label: Label, entry: FrozenSet[Fact]) -> FrozenSet[Fact]:
+        """``exit(l) = (entry(l) \\ kill(l)) ∪ gen(l)``."""
+        return (entry - self.kill.get(label, EMPTY)) | self.gen.get(label, EMPTY)
+
+    def join(self, values: Iterable[FrozenSet[Fact]]) -> FrozenSet[Fact]:
+        """Combine incoming exit values according to the join mode.
+
+        For :data:`JoinMode.INTERSECTION_DOTTED` the paper's ``⋂˙`` is used:
+        the intersection of a *non-empty* family, and ``∅`` for the empty
+        family.
+        """
+        collected = list(values)
+        if not collected:
+            return EMPTY
+        if self.join_mode is JoinMode.UNION:
+            result: Set[Fact] = set()
+            for value in collected:
+                result |= value
+            return frozenset(result)
+        result = set(collected[0])
+        for value in collected[1:]:
+            result &= value
+        return frozenset(result)
+
+
+@dataclass
+class DataflowSolution(Generic[Fact]):
+    """The least solution: per-label entry and exit sets."""
+
+    entry: Dict[Label, FrozenSet[Fact]] = field(default_factory=dict)
+    exit: Dict[Label, FrozenSet[Fact]] = field(default_factory=dict)
+    iterations: int = 0
+
+    def entry_of(self, label: Label) -> FrozenSet[Fact]:
+        """Entry value at ``label`` (``∅`` for unknown labels)."""
+        return self.entry.get(label, EMPTY)
+
+    def exit_of(self, label: Label) -> FrozenSet[Fact]:
+        """Exit value at ``label`` (``∅`` for unknown labels)."""
+        return self.exit.get(label, EMPTY)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the VHDL information-flow toolchain.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single exception type at the API boundary.  Frontend errors carry
+source positions where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+@dataclass(frozen=True)
+class SourcePosition:
+    """A position in VHDL source text (1-based line and column)."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+class LexerError(ReproError):
+    """Raised when the lexer encounters an unrecognised character sequence."""
+
+    def __init__(self, message: str, position: Optional[SourcePosition] = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} at {position}"
+        super().__init__(message)
+
+
+class ParseError(ReproError):
+    """Raised when the parser cannot derive a VHDL1 construct."""
+
+    def __init__(self, message: str, position: Optional[SourcePosition] = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} at {position}"
+        super().__init__(message)
+
+
+class ElaborationError(ReproError):
+    """Raised when a parsed program cannot be elaborated into a design.
+
+    Examples: an architecture referring to a missing entity, duplicate process
+    identifiers, ports used inconsistently with their declared mode.
+    """
+
+
+class TypeCheckError(ReproError):
+    """Raised for static type violations in VHDL1 (vector widths, modes)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the delta-cycle simulator encounters a runtime error."""
+
+
+class AnalysisError(ReproError):
+    """Raised when one of the static analyses is mis-configured."""
+
+
+class SolverError(ReproError):
+    """Raised by the Datalog-style constraint solver (malformed clauses)."""
+
+
+class PolicyError(ReproError):
+    """Raised by the security-policy layer for ill-formed policies."""

@@ -1,0 +1,29 @@
+"""Security-policy layer on top of the information-flow graph.
+
+The paper's motivation is the Covert Channel analysis of the Common Criteria:
+the analysis produces the complete information-flow graph, "then … the designer
+argues that all information flows are permissible — or an independent code
+evaluator asks for further clarification".  This package provides that second
+step in machine-checkable form: security levels, a flow policy (a lattice or an
+arbitrary permitted-flows relation), and a checker that reports every graph
+edge or path violating the policy.
+"""
+
+from repro.security.policy import (
+    Clearance,
+    FlowPolicy,
+    PolicyViolation,
+    TwoLevelPolicy,
+    check_policy,
+)
+from repro.security.report import CovertChannelReport, build_report
+
+__all__ = [
+    "Clearance",
+    "FlowPolicy",
+    "PolicyViolation",
+    "TwoLevelPolicy",
+    "check_policy",
+    "CovertChannelReport",
+    "build_report",
+]

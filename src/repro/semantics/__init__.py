@@ -1,0 +1,29 @@
+"""Structural operational semantics of VHDL1 (Section 3 of the paper).
+
+The simulator executes each process by itself until it reaches a ``wait``
+statement (rule **[Handle non-waiting processes]**), then performs the
+synchronisation of rule **[Active signals]**: delta-time values are resolved
+with the resolution function ``fs``, become the new present values in every
+process, and processes whose waited-on signals changed (and whose ``until``
+condition evaluates to ``'1'``) resume.
+
+The semantics exists for two reasons: it makes the examples executable
+end-to-end (e.g. simulating the generated AES components against the pure
+Python reference), and it powers the property-based *soundness* tests — if
+the analysis reports no flow from an input to an output, then changing that
+input must not change the observed output.
+"""
+
+from repro.semantics.state import ProcessState, SignalStore, VariableStore
+from repro.semantics.expressions import evaluate_expression
+from repro.semantics.simulator import SimulationTrace, Simulator, simulate
+
+__all__ = [
+    "ProcessState",
+    "SignalStore",
+    "VariableStore",
+    "evaluate_expression",
+    "SimulationTrace",
+    "Simulator",
+    "simulate",
+]

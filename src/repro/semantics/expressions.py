@@ -1,0 +1,163 @@
+"""Evaluation of VHDL1 expressions (Table 1).
+
+``E : Expr → (State × Signals ⇀ Value)``: names are looked up in the local
+variable store or the signal store (always the *present* value, ``ϕ s 0``),
+slices use the semantics' ``split`` function, and operators are evaluated on
+the IEEE-1164 domain of :mod:`repro.vhdl.stdlogic`.
+
+The comparison operators return ``'1'``/``'0'`` (or ``'X'`` when an operand is
+not fully defined), matching how synthesis tools treat ``std_logic``
+comparisons inside VHDL1's ``if``/``while``/``wait until`` conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import SimulationError
+from repro.vhdl import ast
+from repro.vhdl.stdlogic import ONE, StdLogic, StdLogicVector, Value, ZERO, X
+from repro.semantics.state import SignalStore, VariableStore
+
+
+def _as_vector(value: Value) -> StdLogicVector:
+    if isinstance(value, StdLogicVector):
+        return value
+    return StdLogicVector([value])
+
+
+def _bitwise(op_name: str, left: Value, right: Value) -> Value:
+    """Apply a logical operator element-wise to scalars or equal-width vectors."""
+    scalar_ops: Dict[str, Callable[[StdLogic, StdLogic], StdLogic]] = {
+        "and": lambda a, b: a & b,
+        "or": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "nand": lambda a, b: a.nand(b),
+        "nor": lambda a, b: a.nor(b),
+        "xnor": lambda a, b: a.xnor(b),
+    }
+    op = scalar_ops[op_name]
+    if isinstance(left, StdLogic) and isinstance(right, StdLogic):
+        return op(left, right)
+    left_vec = _as_vector(left)
+    right_vec = _as_vector(right)
+    if left_vec.width != right_vec.width:
+        raise SimulationError(
+            f"{op_name!r} on vectors of different widths "
+            f"({left_vec.width} vs {right_vec.width})"
+        )
+    return StdLogicVector(op(a, b) for a, b in zip(left_vec.bits, right_vec.bits))
+
+
+def _compare_equal(left: Value, right: Value) -> StdLogic:
+    if isinstance(left, StdLogic) and isinstance(right, StdLogic):
+        if not (left.is_defined() and right.is_defined()):
+            return X
+        return ONE if left.to_x01() == right.to_x01() else ZERO
+    return _as_vector(left).equals(_as_vector(right))
+
+
+def _compare_order(operator: str, left: Value, right: Value) -> StdLogic:
+    left_vec = _as_vector(left)
+    right_vec = _as_vector(right)
+    if not (left_vec.is_fully_defined() and right_vec.is_fully_defined()):
+        return X
+    lhs, rhs = left_vec.to_unsigned(), right_vec.to_unsigned()
+    outcomes = {
+        "<": lhs < rhs,
+        "<=": lhs <= rhs,
+        ">": lhs > rhs,
+        ">=": lhs >= rhs,
+    }
+    return ONE if outcomes[operator] else ZERO
+
+
+def _arithmetic(operator: str, left: Value, right: Value) -> Value:
+    left_vec = _as_vector(left)
+    right_vec = _as_vector(right)
+    operations = {
+        "+": left_vec.add,
+        "-": left_vec.sub,
+        "*": left_vec.mul,
+    }
+    return operations[operator](right_vec)
+
+
+def evaluate_expression(
+    expr: ast.Expression, variables: VariableStore, signals: SignalStore
+) -> Value:
+    """``E[[e]]⟨σ, ϕ⟩`` — evaluate ``expr`` in the given stores."""
+    if isinstance(expr, ast.LogicLiteral):
+        return StdLogic(expr.value)
+    if isinstance(expr, ast.VectorLiteral):
+        return StdLogicVector.from_string(expr.value)
+    if isinstance(expr, ast.IntegerLiteral):
+        # integer literals only occur where tooling generated comparisons;
+        # encode them as the narrowest unsigned vector that holds the value
+        width = max(1, expr.value.bit_length())
+        return StdLogicVector.from_unsigned(expr.value, width)
+    if isinstance(expr, ast.Name):
+        if expr.kind is ast.NameKind.VARIABLE:
+            return variables.read(expr.ident)
+        if expr.kind is ast.NameKind.SIGNAL:
+            return signals.present(expr.ident)
+        # unresolved names can only occur before elaboration
+        if expr.ident in variables:
+            return variables.read(expr.ident)
+        return signals.present(expr.ident)
+    if isinstance(expr, ast.SliceName):
+        if expr.kind is ast.NameKind.VARIABLE or (
+            expr.kind is ast.NameKind.UNKNOWN and expr.ident in variables
+        ):
+            base = variables.read(expr.ident)
+        else:
+            base = signals.present(expr.ident)
+        if not isinstance(base, StdLogicVector):
+            raise SimulationError(f"slice of scalar value {expr.ident!r}")
+        result = base.slice_downto(expr.left, expr.right)
+        if result.width == 1:
+            # single-bit indexing yields a scalar, as in VHDL
+            return result.bits[0]
+        return result
+    if isinstance(expr, ast.UnaryOp):
+        operand = evaluate_expression(expr.operand, variables, signals)
+        if expr.operator != "not":
+            raise SimulationError(f"unsupported unary operator {expr.operator!r}")
+        if isinstance(operand, StdLogic):
+            return ~operand
+        return ~operand
+    if isinstance(expr, ast.BinaryOp):
+        left = evaluate_expression(expr.left, variables, signals)
+        right = evaluate_expression(expr.right, variables, signals)
+        operator = expr.operator
+        if operator in ("and", "or", "xor", "nand", "nor", "xnor"):
+            return _bitwise(operator, left, right)
+        if operator == "=":
+            return _compare_equal(left, right)
+        if operator == "/=":
+            equal = _compare_equal(left, right)
+            if equal == X:
+                return X
+            return ~equal
+        if operator in ("<", "<=", ">", ">="):
+            return _compare_order(operator, left, right)
+        if operator == "&":
+            return _as_vector(left).concat(_as_vector(right))
+        if operator in ("+", "-", "*"):
+            return _arithmetic(operator, left, right)
+        raise SimulationError(f"unsupported binary operator {operator!r}")
+    raise SimulationError(f"cannot evaluate expression node {type(expr).__name__}")
+
+
+def is_true(value: Value) -> bool:
+    """True when a condition value reads as logic one."""
+    if isinstance(value, StdLogic):
+        return value.is_high()
+    return value.width > 0 and value.is_fully_defined() and value.to_unsigned() != 0
+
+
+def is_false(value: Value) -> bool:
+    """True when a condition value reads as logic zero."""
+    if isinstance(value, StdLogic):
+        return value.is_low()
+    return value.is_fully_defined() and value.to_unsigned() == 0

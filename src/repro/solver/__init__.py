@@ -1,0 +1,26 @@
+"""A small Datalog-style constraint solver standing in for the Succinct Solver.
+
+The paper's implementation encodes the closure rules (Tables 7–9) as ALFP
+clauses and solves them with the Succinct Solver [10, 11].  That solver is not
+available, so this package provides a compact replacement: definite Horn
+clauses over finite relations, solved by semi-naive bottom-up evaluation.
+
+The encoding of the paper's rules lives in :mod:`repro.analysis.alfp`; the test
+suite checks that the solver-based closure and the direct implementation in
+:mod:`repro.analysis.closure` compute identical global Resource Matrices.
+"""
+
+from repro.solver.terms import Atom, Constant, Variable
+from repro.solver.clauses import Clause, Fact, Rule
+from repro.solver.engine import Database, SolverEngine
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Variable",
+    "Clause",
+    "Fact",
+    "Rule",
+    "Database",
+    "SolverEngine",
+]

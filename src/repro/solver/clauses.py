@@ -1,0 +1,62 @@
+"""Clauses of the constraint language: facts and definite rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.errors import SolverError
+from repro.solver.terms import Atom, Substitution, Variable
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground atom asserted unconditionally."""
+
+    atom: Atom
+
+    def __post_init__(self) -> None:
+        if not self.atom.is_ground():
+            raise SolverError(f"facts must be ground, got {self.atom}")
+
+    def __repr__(self) -> str:
+        return f"{self.atom}."
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A definite Horn clause ``head :- body_1, …, body_n [, guard]``.
+
+    ``guard`` is an optional Python predicate over the substitution, evaluated
+    once every body atom is matched; it models the side conditions of the
+    paper's rules (e.g. "if ∃ l⃗ ∈ cf such that l_i and l_j occur in l⃗")
+    without requiring those relations to be materialised as facts.
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+    guard: Optional[Callable[[Substitution], bool]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise SolverError("rules need a non-empty body; use Fact for axioms")
+        head_vars = {t for t in self.head.terms if isinstance(t, Variable)}
+        body_vars = set()
+        for atom in self.body:
+            body_vars |= {t for t in atom.terms if isinstance(t, Variable)}
+        unbound = head_vars - body_vars
+        if unbound:
+            raise SolverError(
+                f"head variables {sorted(v.name for v in unbound)} of rule "
+                f"{self.name or self.head.predicate!r} do not occur in the body"
+            )
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(atom) for atom in self.body)
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.head} :- {body}."
+
+
+Clause = object
+"""Union alias: a clause is either a :class:`Fact` or a :class:`Rule`."""

@@ -1,0 +1,155 @@
+"""Semi-naive bottom-up evaluation of definite clauses.
+
+The engine keeps one finite relation per predicate.  Evaluation proceeds in
+rounds: in each round every rule is joined against the current database, but at
+least one body atom must match a tuple derived in the previous round (the
+*semi-naive* restriction), so already-derived consequences are not recomputed.
+The least model is reached when a round derives nothing new — the same
+guarantee the Succinct Solver gives for ALFP clauses, restricted to the
+definite fragment used by the paper's closure rules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SolverError
+from repro.solver.clauses import Fact, Rule
+from repro.solver.terms import Atom, Substitution
+
+Tuple_ = Tuple[object, ...]
+
+
+class Database:
+    """A set of ground tuples per predicate."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Set[Tuple_]] = defaultdict(set)
+
+    def add(self, predicate: str, values: Tuple_) -> bool:
+        """Insert a tuple; returns True when it was new."""
+        relation = self._relations[predicate]
+        if values in relation:
+            return False
+        relation.add(values)
+        return True
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Insert a ground atom."""
+        return self.add(atom.predicate, atom.ground_tuple())
+
+    def relation(self, predicate: str) -> FrozenSet[Tuple_]:
+        """All tuples currently known for ``predicate``."""
+        return frozenset(self._relations.get(predicate, set()))
+
+    def predicates(self) -> List[str]:
+        """All predicates with at least one tuple."""
+        return sorted(self._relations)
+
+    def size(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def __contains__(self, item: Tuple[str, Tuple_]) -> bool:
+        predicate, values = item
+        return values in self._relations.get(predicate, set())
+
+
+@dataclass
+class SolverEngine:
+    """Collects clauses and computes their least model."""
+
+    facts: List[Fact] = field(default_factory=list)
+    rules: List[Rule] = field(default_factory=list)
+
+    # -- clause collection ----------------------------------------------------
+
+    def add_fact(self, predicate: str, *values: object) -> None:
+        """Assert a ground fact."""
+        self.facts.append(Fact(Atom.of(predicate, *[_ground(v) for v in values])))
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add a definite rule."""
+        self.rules.append(rule)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def solve(self, max_rounds: Optional[int] = None) -> Database:
+        """Compute the least model by semi-naive iteration."""
+        database = Database()
+        delta: Dict[str, Set[Tuple_]] = defaultdict(set)
+        for fact in self.facts:
+            if database.add_atom(fact.atom):
+                delta[fact.atom.predicate].add(fact.atom.ground_tuple())
+
+        rounds = 0
+        while delta:
+            rounds += 1
+            if max_rounds is not None and rounds > max_rounds:
+                raise SolverError(f"solver did not converge within {max_rounds} rounds")
+            new_delta: Dict[str, Set[Tuple_]] = defaultdict(set)
+            for rule in self.rules:
+                for derived in self._apply_rule(rule, database, delta):
+                    predicate, values = derived
+                    if database.add(predicate, values):
+                        new_delta[predicate].add(values)
+            delta = new_delta
+        return database
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        database: Database,
+        delta: Dict[str, Set[Tuple_]],
+    ) -> Iterable[Tuple[str, Tuple_]]:
+        """Join the rule body against the database, seeded by the delta.
+
+        For each body position that has new tuples, perform a join in which
+        that position ranges over the delta and the remaining positions over
+        the full relations.
+        """
+        for seed_index, seed_atom in enumerate(rule.body):
+            seed_tuples = delta.get(seed_atom.predicate)
+            if not seed_tuples:
+                continue
+            for seed_tuple in seed_tuples:
+                bindings = seed_atom.match(seed_tuple, {})
+                if bindings is None:
+                    continue
+                yield from self._join_rest(rule, database, bindings, seed_index, 0)
+
+    def _join_rest(
+        self,
+        rule: Rule,
+        database: Database,
+        bindings: Substitution,
+        seed_index: int,
+        position: int,
+    ) -> Iterable[Tuple[str, Tuple_]]:
+        if position == len(rule.body):
+            if rule.guard is not None and not rule.guard(bindings):
+                return
+            head = rule.head.substitute(bindings)
+            if not head.is_ground():
+                raise SolverError(f"derived non-ground head {head} in rule {rule}")
+            yield head.predicate, head.ground_tuple()
+            return
+        if position == seed_index:
+            yield from self._join_rest(rule, database, bindings, seed_index, position + 1)
+            return
+        atom = rule.body[position]
+        for candidate in database.relation(atom.predicate):
+            extended = atom.match(candidate, bindings)
+            if extended is not None:
+                yield from self._join_rest(
+                    rule, database, extended, seed_index, position + 1
+                )
+
+
+def _ground(value: object) -> object:
+    """Helper turning plain Python values into constants for :meth:`add_fact`."""
+    from repro.solver.terms import Constant
+
+    return value if isinstance(value, Constant) else Constant(value)

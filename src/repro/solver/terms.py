@@ -1,0 +1,118 @@
+"""Terms of the constraint language: constants, variables and atoms.
+
+The language is deliberately small — exactly what is needed to state the
+closure rules of Tables 7–9 as Horn clauses over finite relations:
+
+* :class:`Constant` wraps an arbitrary hashable Python value;
+* :class:`Variable` is a named logic variable (conventionally upper-case);
+* :class:`Atom` is a predicate applied to a tuple of terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A ground term wrapping a hashable Python value."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Union[Constant, Variable]
+Substitution = Dict[Variable, object]
+"""A binding of variables to ground Python values."""
+
+
+def term(value: object) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings starting with an upper-case letter or underscore become variables
+    (the usual Datalog convention); everything else becomes a constant.  Pass a
+    :class:`Constant`/:class:`Variable` directly to bypass the convention.
+    """
+    if isinstance(value, (Constant, Variable)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``rm_gl(N, L, 'R0')``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    @classmethod
+    def of(cls, predicate: str, *values: object) -> "Atom":
+        """Build an atom, coercing arguments with :func:`term`."""
+        return cls(predicate, tuple(term(value) for value in values))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def substitute(self, bindings: Substitution) -> "Atom":
+        """Replace bound variables by their values."""
+        new_terms = []
+        for t in self.terms:
+            if isinstance(t, Variable) and t in bindings:
+                new_terms.append(Constant(bindings[t]))
+            else:
+                new_terms.append(t)
+        return Atom(self.predicate, tuple(new_terms))
+
+    def match(
+        self, tuple_values: Tuple[object, ...], bindings: Substitution
+    ) -> Optional[Substitution]:
+        """Unify this atom against a ground tuple, extending ``bindings``.
+
+        Returns the extended substitution or ``None`` when the tuple does not
+        match.
+        """
+        if len(tuple_values) != len(self.terms):
+            return None
+        result = dict(bindings)
+        for pattern, value in zip(self.terms, tuple_values):
+            if isinstance(pattern, Constant):
+                if pattern.value != value:
+                    return None
+            else:
+                bound = result.get(pattern)
+                if bound is None:
+                    result[pattern] = value
+                elif bound != value:
+                    return None
+        return result
+
+    def ground_tuple(self) -> Tuple[object, ...]:
+        """The tuple of constant values (requires a ground atom)."""
+        if not self.is_ground():
+            raise ValueError(f"atom {self} is not ground")
+        return tuple(t.value for t in self.terms)  # type: ignore[union-attr]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(t) for t in self.terms)
+        return f"{self.predicate}({args})"

@@ -1,0 +1,185 @@
+"""Pretty printer producing parseable VHDL1 source text from an AST.
+
+``parse_program(pretty(program))`` round-trips for every program the parser
+accepts; the property-based tests rely on this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.vhdl import ast
+
+_INDENT = "  "
+
+
+def _format_slice(target_slice) -> str:
+    left, right, direction = target_slice
+    if direction is ast.RangeDirection.DOWNTO and left == right:
+        return f"({left})"
+    return f"({left} {direction.value} {right})"
+
+
+def format_expression(expr: ast.Expression) -> str:
+    """Render an expression as VHDL1 concrete syntax."""
+    if isinstance(expr, ast.LogicLiteral):
+        return f"'{expr.value}'"
+    if isinstance(expr, ast.VectorLiteral):
+        return f'"{expr.value}"'
+    if isinstance(expr, ast.IntegerLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.SliceName):
+        return f"{expr.ident}{_format_slice((expr.left, expr.right, expr.direction))}"
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.operator} {format_expression(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        left = format_expression(expr.left)
+        right = format_expression(expr.right)
+        return f"({left} {expr.operator} {right})"
+    raise TypeError(f"cannot pretty-print expression node {type(expr).__name__}")
+
+
+def format_type(type_node: ast.TypeNode) -> str:
+    """Render a type annotation."""
+    if isinstance(type_node, ast.StdLogicType):
+        return "std_logic"
+    if isinstance(type_node, ast.StdLogicVectorType):
+        return (
+            f"std_logic_vector({type_node.left} {type_node.direction.value} "
+            f"{type_node.right})"
+        )
+    raise TypeError(f"cannot pretty-print type node {type(type_node).__name__}")
+
+
+def format_declaration(decl: ast.Declaration, indent: int = 0) -> str:
+    """Render a variable or signal declaration."""
+    pad = _INDENT * indent
+    if isinstance(decl, ast.VariableDeclaration):
+        init = (
+            f" := {format_expression(decl.initial)}" if decl.initial is not None else ""
+        )
+        return f"{pad}variable {decl.name} : {format_type(decl.var_type)}{init};"
+    if isinstance(decl, ast.SignalDeclaration):
+        init = (
+            f" := {format_expression(decl.initial)}" if decl.initial is not None else ""
+        )
+        return f"{pad}signal {decl.name} : {format_type(decl.sig_type)}{init};"
+    raise TypeError(f"cannot pretty-print declaration {type(decl).__name__}")
+
+
+def format_statement(stmt: ast.Statement, indent: int = 0) -> List[str]:
+    """Render a statement as a list of source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Null):
+        return [f"{pad}null;"]
+    if isinstance(stmt, ast.VariableAssign):
+        target = stmt.target + (
+            _format_slice(stmt.target_slice) if stmt.target_slice else ""
+        )
+        return [f"{pad}{target} := {format_expression(stmt.value)};"]
+    if isinstance(stmt, ast.SignalAssign):
+        target = stmt.target + (
+            _format_slice(stmt.target_slice) if stmt.target_slice else ""
+        )
+        return [f"{pad}{target} <= {format_expression(stmt.value)};"]
+    if isinstance(stmt, ast.Wait):
+        parts = ["wait"]
+        if stmt.signals:
+            parts.append("on " + ", ".join(stmt.signals))
+        if stmt.condition is not None:
+            parts.append("until " + format_expression(stmt.condition))
+        return [f"{pad}{' '.join(parts)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if {format_expression(stmt.condition)} then"]
+        for inner in stmt.then_branch:
+            lines.extend(format_statement(inner, indent + 1))
+        lines.append(f"{pad}else")
+        for inner in stmt.else_branch:
+            lines.extend(format_statement(inner, indent + 1))
+        lines.append(f"{pad}end if;")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while {format_expression(stmt.condition)} loop"]
+        for inner in stmt.body:
+            lines.extend(format_statement(inner, indent + 1))
+        lines.append(f"{pad}end loop;")
+        return lines
+    raise TypeError(f"cannot pretty-print statement {type(stmt).__name__}")
+
+
+def format_statements(statements: Sequence[ast.Statement], indent: int = 0) -> str:
+    """Render a statement list as newline-joined source text."""
+    lines: List[str] = []
+    for stmt in statements:
+        lines.extend(format_statement(stmt, indent))
+    return "\n".join(lines)
+
+
+def format_concurrent(stmt: ast.ConcurrentStatement, indent: int = 0) -> List[str]:
+    """Render a concurrent statement as a list of source lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.ConcurrentAssign):
+        return format_statement(stmt.assignment, indent)
+    if isinstance(stmt, ast.ProcessStatement):
+        header = f"{pad}{stmt.name} : process"
+        if stmt.sensitivity:
+            header += "(" + ", ".join(stmt.sensitivity) + ")"
+        lines = [header]
+        for decl in stmt.declarations:
+            lines.append(format_declaration(decl, indent + 1))
+        lines.append(f"{pad}begin")
+        for inner in stmt.body:
+            lines.extend(format_statement(inner, indent + 1))
+        lines.append(f"{pad}end process {stmt.name};")
+        return lines
+    if isinstance(stmt, ast.BlockStatement):
+        lines = [f"{pad}{stmt.name} : block"]
+        for decl in stmt.declarations:
+            lines.append(format_declaration(decl, indent + 1))
+        lines.append(f"{pad}begin")
+        for inner in stmt.body:
+            lines.extend(format_concurrent(inner, indent + 1))
+        lines.append(f"{pad}end block {stmt.name};")
+        return lines
+    raise TypeError(f"cannot pretty-print concurrent statement {type(stmt).__name__}")
+
+
+def format_entity(entity: ast.Entity) -> str:
+    """Render an entity declaration."""
+    lines = [f"entity {entity.name} is"]
+    if entity.ports:
+        lines.append(f"{_INDENT}port(")
+        port_lines = []
+        for port in entity.ports:
+            port_lines.append(
+                f"{_INDENT * 2}{port.name} : {port.mode.value} {format_type(port.port_type)}"
+            )
+        lines.append(";\n".join(port_lines))
+        lines.append(f"{_INDENT});")
+    lines.append(f"end {entity.name};")
+    return "\n".join(lines)
+
+
+def format_architecture(arch: ast.Architecture) -> str:
+    """Render an architecture body."""
+    lines = [f"architecture {arch.name} of {arch.entity_name} is"]
+    for decl in arch.declarations:
+        lines.append(format_declaration(decl, 1))
+    lines.append("begin")
+    for stmt in arch.body:
+        lines.extend(format_concurrent(stmt, 1))
+    lines.append(f"end {arch.name};")
+    return "\n".join(lines)
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a whole VHDL1 program (entities then architectures)."""
+    parts = [format_entity(e) for e in program.entities]
+    parts.extend(format_architecture(a) for a in program.architectures)
+    return "\n\n".join(parts) + "\n"
+
+
+#: Alias used throughout the documentation.
+pretty = format_program

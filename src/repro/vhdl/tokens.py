@@ -1,0 +1,100 @@
+"""Token definitions for the VHDL1 lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+from repro.errors import SourcePosition
+
+
+class TokenKind(Enum):
+    """Kinds of lexical tokens for the VHDL1 fragment."""
+
+    IDENTIFIER = auto()
+    KEYWORD = auto()
+    INTEGER = auto()
+    CHAR_LITERAL = auto()      # '1', 'U', ...
+    STRING_LITERAL = auto()    # "1010"
+    # punctuation
+    COLON = auto()             # :
+    SEMICOLON = auto()         # ;
+    COMMA = auto()             # ,
+    LPAREN = auto()            # (
+    RPAREN = auto()            # )
+    # operators
+    ASSIGN_VAR = auto()        # :=
+    ASSIGN_SIG = auto()        # <=   (also relational <=, disambiguated by parser)
+    ARROW = auto()             # =>
+    EQ = auto()                # =
+    NEQ = auto()               # /=
+    LT = auto()                # <
+    GT = auto()                # >
+    GE = auto()                # >=
+    PLUS = auto()              # +
+    MINUS = auto()             # -
+    STAR = auto()              # *
+    SLASH = auto()             # /
+    AMPERSAND = auto()         # &
+    EOF = auto()
+
+
+#: Reserved words of the VHDL1 concrete syntax (lower-cased).
+KEYWORDS = frozenset(
+    {
+        "entity",
+        "is",
+        "port",
+        "end",
+        "in",
+        "out",
+        "std_logic",
+        "std_logic_vector",
+        "downto",
+        "to",
+        "architecture",
+        "of",
+        "begin",
+        "process",
+        "block",
+        "variable",
+        "signal",
+        "null",
+        "wait",
+        "on",
+        "until",
+        "if",
+        "then",
+        "else",
+        "elsif",
+        "while",
+        "loop",
+        "do",
+        "not",
+        "and",
+        "or",
+        "xor",
+        "nand",
+        "nor",
+        "xnor",
+        "true",
+        "false",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    position: Optional[SourcePosition] = None
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the keyword ``word`` (case-insensitive)."""
+        return self.kind is TokenKind.KEYWORD and self.text.lower() == word.lower()
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"

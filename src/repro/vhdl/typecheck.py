@@ -1,0 +1,215 @@
+"""Static well-formedness checks for elaborated designs.
+
+The analyses and the simulator assume a handful of properties that the
+elaborator does not enforce (it only resolves names).  This module checks them
+up front and reports diagnostics with severities:
+
+* vector widths must agree across assignments and binary operators;
+* slice bounds must lie within the declared range of the sliced object;
+* conditions of ``if``/``while``/``wait until`` should be scalar
+  (``std_logic``) valued;
+* reading an ``out`` port or never reading a declared object produces warnings.
+
+Checking is best-effort and purely syntactic: widths of expressions that mix
+unknown operands are simply skipped rather than reported, so the checker never
+rejects a program the simulator could execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.errors import TypeCheckError
+from repro.vhdl import ast
+from repro.vhdl.elaborate import Design, Process
+
+
+class Severity(Enum):
+    """Diagnostic severity."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the checker."""
+
+    severity: Severity
+    message: str
+    process: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [process {self.process}]" if self.process else ""
+        return f"{self.severity.value}: {self.message}{where}"
+
+
+class TypeChecker:
+    """Collects diagnostics for one design."""
+
+    def __init__(self, design: Design):
+        self._design = design
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- reporting ------------------------------------------------------------
+
+    def _error(self, message: str, process: Optional[str] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, process))
+
+    def _warn(self, message: str, process: Optional[str] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, message, process))
+
+    # -- width computation -------------------------------------------------------
+
+    def _declared_width(self, name: str, process: Process) -> Optional[int]:
+        """Width of a declared object: ``None`` for scalars, bits for vectors."""
+        if name in process.variables:
+            return process.variables[name].width
+        if name in self._design.signals:
+            return self._design.signals[name].width
+        return None
+
+    def _expression_width(self, expr: ast.Expression, process: Process) -> Optional[int]:
+        """Vector width of an expression, or ``None`` when scalar/unknown."""
+        if isinstance(expr, ast.LogicLiteral):
+            return None
+        if isinstance(expr, ast.VectorLiteral):
+            return len(expr.value)
+        if isinstance(expr, ast.IntegerLiteral):
+            return None
+        if isinstance(expr, ast.Name):
+            return self._declared_width(expr.ident, process)
+        if isinstance(expr, ast.SliceName):
+            width = abs(expr.left - expr.right) + 1
+            return None if width == 1 else width
+        if isinstance(expr, ast.UnaryOp):
+            return self._expression_width(expr.operand, process)
+        if isinstance(expr, ast.BinaryOp):
+            left = self._expression_width(expr.left, process)
+            right = self._expression_width(expr.right, process)
+            if expr.operator == "&":
+                if left is None and right is None:
+                    return 2
+                return (left or 1) + (right or 1)
+            if expr.operator in ("=", "/=", "<", "<=", ">", ">="):
+                return None
+            if left is not None and right is not None and left != right:
+                self._error(
+                    f"operator {expr.operator!r} applied to vectors of widths "
+                    f"{left} and {right}",
+                    process.name,
+                )
+            return left if left is not None else right
+        return None
+
+    # -- checks ------------------------------------------------------------------------
+
+    def _check_slice(self, name: str, left: int, right: int, process: Process) -> None:
+        width = self._declared_width(name, process)
+        if width is None:
+            self._error(f"slice of scalar object {name!r}", process.name)
+            return
+        if left < right:
+            self._error(
+                f"slice ({left} downto {right}) of {name!r} has reversed bounds",
+                process.name,
+            )
+            return
+        if left >= width or right < 0:
+            self._error(
+                f"slice ({left} downto {right}) of {name!r} exceeds its width {width}",
+                process.name,
+            )
+
+    def _check_expression(self, expr: ast.Expression, process: Process) -> None:
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.SliceName):
+                self._check_slice(node.ident, node.left, node.right, process)
+            elif isinstance(node, ast.Name):
+                info = self._design.signals.get(node.ident)
+                if info is not None and info.is_output:
+                    self._warn(
+                        f"reading output port {node.ident!r}", process.name
+                    )
+            elif isinstance(node, ast.UnaryOp):
+                stack.append(node.operand)
+            elif isinstance(node, ast.BinaryOp):
+                stack.append(node.left)
+                stack.append(node.right)
+        self._expression_width(expr, process)
+
+    def _check_condition(self, expr: ast.Expression, process: Process) -> None:
+        self._check_expression(expr, process)
+        width = self._expression_width(expr, process)
+        if width is not None:
+            self._warn(
+                "condition has a vector value; VHDL1 conditions should be "
+                "std_logic valued",
+                process.name,
+            )
+
+    def _target_width(
+        self, stmt, process: Process
+    ) -> Optional[int]:
+        if stmt.target_slice is not None:
+            left, right, _ = stmt.target_slice
+            self._check_slice(stmt.target, left, right, process)
+            width = abs(left - right) + 1
+            return None if width == 1 else width
+        return self._declared_width(stmt.target, process)
+
+    def _check_assignment(self, stmt, process: Process) -> None:
+        target_width = self._target_width(stmt, process)
+        self._check_expression(stmt.value, process)
+        value_width = self._expression_width(stmt.value, process)
+        if (
+            target_width is not None
+            and value_width is not None
+            and target_width != value_width
+        ):
+            self._error(
+                f"assignment to {stmt.target!r} of width {target_width} from an "
+                f"expression of width {value_width}",
+                process.name,
+            )
+
+    def _check_process(self, process: Process) -> None:
+        read_names = set()
+        for stmt in ast.iter_statements(process.body):
+            if isinstance(stmt, (ast.VariableAssign, ast.SignalAssign)):
+                self._check_assignment(stmt, process)
+                read_names |= ast.free_names(stmt.value)
+            elif isinstance(stmt, ast.Wait):
+                if stmt.condition is not None:
+                    self._check_condition(stmt.condition, process)
+                    read_names |= ast.free_names(stmt.condition)
+                read_names |= set(stmt.signals)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._check_condition(stmt.condition, process)
+                read_names |= ast.free_names(stmt.condition)
+        for name in process.variables:
+            if name not in read_names:
+                self._warn(f"variable {name!r} is never read", process.name)
+
+    def check(self) -> List[Diagnostic]:
+        """Run every check and return the collected diagnostics."""
+        for process in self._design.processes:
+            self._check_process(process)
+        return self.diagnostics
+
+
+def typecheck(design: Design) -> List[Diagnostic]:
+    """Check ``design`` and return its diagnostics (errors and warnings)."""
+    return TypeChecker(design).check()
+
+
+def assert_well_typed(design: Design) -> None:
+    """Raise :class:`TypeCheckError` if the design has any error diagnostics."""
+    errors = [d for d in typecheck(design) if d.severity is Severity.ERROR]
+    if errors:
+        summary = "; ".join(str(d) for d in errors)
+        raise TypeCheckError(f"design {design.name!r} has type errors: {summary}")

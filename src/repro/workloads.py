@@ -1,0 +1,266 @@
+"""Canonical workload programs shared by the tests, benchmarks and examples.
+
+The module collects, as VHDL1 source text:
+
+* the paper's two illustrative programs (a) and (b) from Section 5;
+* the "Open Challenge F" style program of Section 7 (an overwritten secret
+  that security-type systems reject but this analysis accepts);
+* a small two-process producer/consumer design exercising the cross-process
+  rules;
+* a synthetic program family of configurable size for the scaling benchmark
+  (E5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def paper_program_a() -> str:
+    """Program (a) of Section 5: ``[c := b]^1; [b := a]^2``.
+
+    The paper presents it as a straight-line program; analyse it with
+    ``loop_processes=False`` to reproduce Figure 3(a).
+    """
+    return """
+entity prog_a is
+end prog_a;
+
+architecture straight of prog_a is
+begin
+  p : process
+    variable a : std_logic;
+    variable b : std_logic;
+    variable c : std_logic;
+  begin
+    c := b;
+    b := a;
+  end process p;
+end straight;
+"""
+
+
+def paper_program_b() -> str:
+    """Program (b) of Section 5: ``[b := a]^1; [c := b]^2`` (Figure 3(b)/4)."""
+    return """
+entity prog_b is
+end prog_b;
+
+architecture straight of prog_b is
+begin
+  p : process
+    variable a : std_logic;
+    variable b : std_logic;
+    variable c : std_logic;
+  begin
+    b := a;
+    c := b;
+  end process p;
+end straight;
+"""
+
+
+def challenge_f_program() -> str:
+    """An overwritten-secret program (Open Challenge F of Sabelfeld–Myers).
+
+    The temporary ``t`` first holds the secret ``key`` but is overwritten with
+    the public ``plain`` before flowing to the output; a flow-insensitive
+    security type system rejects the program, the paper's analysis shows that
+    ``key`` never reaches ``leak``.
+    """
+    return """
+entity challenge_f is
+  port( key   : in std_logic_vector(7 downto 0);
+        plain : in std_logic_vector(7 downto 0);
+        leak  : out std_logic_vector(7 downto 0) );
+end challenge_f;
+
+architecture overwrite of challenge_f is
+begin
+  p : process
+    variable t : std_logic_vector(7 downto 0);
+  begin
+    t := key;
+    t := plain;
+    leak <= t;
+    wait on key, plain;
+  end process p;
+end overwrite;
+"""
+
+
+def producer_consumer_program() -> str:
+    """Two processes communicating through an internal signal.
+
+    The producer mixes its two inputs into ``link``; the consumer forwards the
+    link value to the output.  This exercises the cross-flow relation, the
+    wait-statement gen/kill sets of Table 5 and the [Synchronized values]
+    closure rule.
+    """
+    return """
+entity producer_consumer is
+  port( left  : in std_logic_vector(3 downto 0);
+        right : in std_logic_vector(3 downto 0);
+        result : out std_logic_vector(3 downto 0) );
+end producer_consumer;
+
+architecture two_proc of producer_consumer is
+  signal link : std_logic_vector(3 downto 0);
+begin
+  producer : process
+    variable mixed : std_logic_vector(3 downto 0);
+  begin
+    mixed := left xor right;
+    link <= mixed;
+    wait on left, right;
+  end process producer;
+
+  consumer : process
+  begin
+    result <= link;
+    wait on link;
+  end process consumer;
+end two_proc;
+"""
+
+
+def conditional_program() -> str:
+    """A program with an implicit flow through a condition (if/else)."""
+    return """
+entity conditional is
+  port( sel : in std_logic;
+        a   : in std_logic;
+        b   : in std_logic;
+        y   : out std_logic );
+end conditional;
+
+architecture mux of conditional is
+begin
+  p : process
+    variable t : std_logic;
+  begin
+    if sel = '1' then
+      t := a;
+    else
+      t := b;
+    end if;
+    y <= t;
+    wait on sel, a, b;
+  end process p;
+end mux;
+"""
+
+
+def synthetic_chain_program(
+    processes: int = 2, assignments_per_process: int = 8
+) -> str:
+    """A synthetic program family for the scaling benchmark (E5).
+
+    ``processes`` pipeline stages are connected through internal signals
+    ``stage_0 … stage_k``; each stage copies its input through
+    ``assignments_per_process`` chained temporary variables before driving the
+    next stage.  The program size grows linearly in both parameters, so the
+    measured analysis time exposes the super-linear behaviour of the closure.
+    """
+    if processes < 1:
+        raise ValueError("need at least one process")
+    if assignments_per_process < 1:
+        raise ValueError("need at least one assignment per process")
+
+    lines: List[str] = [
+        "entity chain is",
+        "  port( chain_in  : in std_logic_vector(7 downto 0);",
+        "        chain_out : out std_logic_vector(7 downto 0) );",
+        "end chain;",
+        "",
+        "architecture generated of chain is",
+    ]
+    for stage in range(processes - 1):
+        lines.append(f"  signal stage_{stage} : std_logic_vector(7 downto 0);")
+    lines.append("begin")
+
+    for stage in range(processes):
+        source = "chain_in" if stage == 0 else f"stage_{stage - 1}"
+        sink = "chain_out" if stage == processes - 1 else f"stage_{stage}"
+        lines.append(f"  proc_{stage} : process")
+        for index in range(assignments_per_process):
+            lines.append(f"    variable v_{stage}_{index} : std_logic_vector(7 downto 0);")
+        lines.append("  begin")
+        lines.append(f"    v_{stage}_0 := {source};")
+        for index in range(1, assignments_per_process):
+            lines.append(
+                f"    v_{stage}_{index} := v_{stage}_{index - 1} xor \"00000001\";"
+            )
+        lines.append(f"    {sink} <= v_{stage}_{assignments_per_process - 1};")
+        lines.append(f"    wait on {source};")
+        lines.append(f"  end process proc_{stage};")
+        lines.append("")
+
+    lines.append("end generated;")
+    return "\n".join(lines) + "\n"
+
+
+def two_phase_program() -> str:
+    """A two-phase process whose internal signal is rewritten between waits.
+
+    The signal ``stage`` first carries ``x`` and is synchronised, then carries
+    ``y`` and is synchronised again before being exported.  Only ``y`` can
+    reach the output: the second synchronisation is *guaranteed* to overwrite
+    the present value of ``stage``, which is exactly what the
+    under-approximation ``RD∩ϕ`` establishes (the paper's "unusual
+    ingredient", Section 4.2 / Conclusion).  Without it the analysis reports a
+    spurious flow from ``x``.
+    """
+    return """
+entity two_phase is
+  port( x : in std_logic_vector(3 downto 0);
+        y : in std_logic_vector(3 downto 0);
+        result : out std_logic_vector(3 downto 0) );
+end two_phase;
+
+architecture phased of two_phase is
+  signal stage : std_logic_vector(3 downto 0);
+begin
+  p : process
+  begin
+    stage <= x;
+    wait on x;
+    stage <= y;
+    wait on y;
+    result <= stage;
+    wait on stage;
+  end process p;
+end phased;
+"""
+
+
+def overwriting_loop_program() -> str:
+    """A while-loop program whose guard creates implicit flows."""
+    return """
+entity looping is
+  port( start : in std_logic;
+        data  : in std_logic_vector(3 downto 0);
+        done  : out std_logic_vector(3 downto 0) );
+end looping;
+
+architecture behav of looping is
+begin
+  p : process
+    variable counter : std_logic_vector(3 downto 0);
+    variable acc     : std_logic_vector(3 downto 0);
+  begin
+    counter := "0011";
+    acc := data;
+    while counter /= "0000" loop
+      acc := acc xor data;
+      counter := counter - "0001";
+    end loop;
+    if start = '1' then
+      done <= acc;
+    else
+      done <= "0000";
+    end if;
+    wait on start, data;
+  end process p;
+end behav;
+"""

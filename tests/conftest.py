@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import workloads
+from repro.aes import generator
+from repro.vhdl.elaborate import elaborate_source
+
+
+@pytest.fixture
+def program_a_source() -> str:
+    """The paper's program (a): ``c := b; b := a``."""
+    return workloads.paper_program_a()
+
+
+@pytest.fixture
+def program_b_source() -> str:
+    """The paper's program (b): ``b := a; c := b``."""
+    return workloads.paper_program_b()
+
+
+@pytest.fixture
+def producer_consumer_source() -> str:
+    """Two processes communicating through an internal signal."""
+    return workloads.producer_consumer_program()
+
+
+@pytest.fixture
+def conditional_source() -> str:
+    """A mux with an implicit flow through its select input."""
+    return workloads.conditional_program()
+
+
+@pytest.fixture
+def challenge_f_source() -> str:
+    """The overwritten-secret program of Open Challenge F."""
+    return workloads.challenge_f_program()
+
+
+@pytest.fixture
+def shift_rows_paper_source() -> str:
+    """The Figure 5 ShiftRows workload (variables plus a shared temporary)."""
+    return generator.shift_rows_paper_source()
+
+
+@pytest.fixture
+def producer_consumer_design(producer_consumer_source):
+    """Elaborated producer/consumer design."""
+    return elaborate_source(producer_consumer_source)
+
+
+@pytest.fixture
+def conditional_design(conditional_source):
+    """Elaborated mux design."""
+    return elaborate_source(conditional_source)

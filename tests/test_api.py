@@ -1,0 +1,96 @@
+"""Tests for the high-level analysis API surface."""
+
+import pytest
+
+from repro import FlowGraph, analyze, analyze_design, elaborate, parse_program
+from repro.analysis.api import AnalysisResult, analyze_kemmerer_design
+from repro.errors import ElaborationError, ParseError, ReproError
+from repro import workloads
+
+
+class TestPackageSurface:
+    def test_package_exports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        for name in ("analyze", "analyze_design", "analyze_kemmerer", "FlowGraph"):
+            assert hasattr(repro, name)
+
+    def test_parse_then_elaborate_then_analyse(self):
+        program = parse_program(workloads.producer_consumer_program())
+        design = elaborate(program)
+        result = analyze_design(design)
+        assert isinstance(result, AnalysisResult)
+        assert isinstance(result.graph, FlowGraph)
+
+    def test_every_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            parse_program("entity broken")
+        with pytest.raises(ParseError):
+            parse_program("entity broken")
+        with pytest.raises(ElaborationError):
+            elaborate(parse_program("entity lonely is end lonely;"))
+
+
+class TestAnalysisResult:
+    def test_summary_mentions_the_design_and_sizes(self):
+        result = analyze(workloads.producer_consumer_program())
+        summary = result.summary()
+        assert "producer_consumer" in summary
+        assert "2 processes" in summary
+        assert "graph:" in summary
+
+    def test_flow_graph_alias(self):
+        result = analyze(workloads.conditional_program())
+        assert result.flow_graph is result.graph
+
+    def test_intermediate_artefacts_are_exposed(self):
+        result = analyze(workloads.producer_consumer_program())
+        assert set(result.active) == {"producer", "consumer"}
+        assert result.reaching.entry
+        assert len(result.rm_local) > 0
+        assert result.specialized.present or result.specialized.active
+        assert result.outgoing_labels.keys() == {"result"}
+
+    def test_basic_analysis_has_no_outgoing_labels(self):
+        result = analyze(workloads.producer_consumer_program(), improved=False)
+        assert result.outgoing_labels == {}
+        assert not result.improved
+
+    def test_collapsed_graph_has_no_environment_nodes(self):
+        from repro.analysis.resource_matrix import is_incoming, is_outgoing
+
+        result = analyze(workloads.challenge_f_program())
+        collapsed = result.collapsed_graph()
+        assert not any(is_incoming(n) or is_outgoing(n) for n in collapsed.nodes)
+
+    def test_kemmerer_design_entry_point(self):
+        design = elaborate(parse_program(workloads.conditional_program()))
+        baseline = analyze_kemmerer_design(design)
+        assert baseline.graph.is_transitive()
+
+    def test_entity_selection_by_name(self):
+        source = workloads.paper_program_a() + workloads.paper_program_b()
+        result = analyze(source, entity_name="prog_b", loop_processes=False)
+        assert result.design.name == "prog_b"
+        with pytest.raises(ElaborationError):
+            analyze(source)  # ambiguous without an entity name
+
+
+class TestAnalysisOptions:
+    def test_loop_processes_changes_the_result(self):
+        looped = analyze(workloads.paper_program_a(), improved=False)
+        straight = analyze(
+            workloads.paper_program_a(), improved=False, loop_processes=False
+        )
+        assert straight.graph_without_self_loops().is_subgraph_of(
+            looped.graph_without_self_loops()
+        )
+        assert looped.graph.edge_count() > straight.graph.edge_count()
+
+    def test_under_approximation_flag_is_monotone(self):
+        full = analyze(workloads.two_phase_program())
+        ablated = analyze(
+            workloads.two_phase_program(), use_under_approximation=False
+        )
+        assert full.graph.is_subgraph_of(ablated.graph)

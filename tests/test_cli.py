@@ -1,0 +1,101 @@
+"""Tests for the ``vhdl-ifa`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro import workloads
+from repro.aes.generator import shift_rows_paper_source
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "design.vhd"
+    path.write_text(workloads.challenge_f_program(), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def producer_file(tmp_path):
+    path = tmp_path / "pc.vhd"
+    path.write_text(workloads.producer_consumer_program(), encoding="utf-8")
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_adjacency_output(self, design_file, capsys):
+        assert main(["analyze", design_file]) == 0
+        out = capsys.readouterr().out
+        assert "design 'challenge_f'" in out
+        assert "plain" in out
+
+    def test_dot_output(self, design_file, capsys):
+        assert main(["analyze", design_file, "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_basic_and_straight_line_flags(self, tmp_path, capsys):
+        path = tmp_path / "a.vhd"
+        path.write_text(workloads.paper_program_a(), encoding="utf-8")
+        assert main(["analyze", str(path), "--basic", "--straight-line"]) == 0
+        out = capsys.readouterr().out
+        assert "a -> b" in out
+
+    def test_collapse_flag(self, tmp_path, capsys):
+        path = tmp_path / "sr.vhd"
+        path.write_text(shift_rows_paper_source(), encoding="utf-8")
+        assert main(["analyze", str(path), "--straight-line", "--collapse"]) == 0
+        out = capsys.readouterr().out
+        assert "○" not in out and "•" not in out
+
+
+class TestKemmererCommand:
+    def test_kemmerer_output(self, design_file, capsys):
+        assert main(["kemmerer", design_file]) == 0
+        assert "Kemmerer" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_clean_design_returns_zero(self, design_file, capsys):
+        assert main(["check", design_file, "--secret", "key", "--ports-only"]) == 0
+        out = capsys.readouterr().out
+        assert "leak <- plain" in out
+
+    def test_internal_flow_is_flagged_without_ports_only(self, design_file, capsys):
+        # the secret key does flow into the (public) temporary t, so the
+        # unrestricted check reports it
+        assert main(["check", design_file, "--secret", "key"]) == 1
+        assert "key" in capsys.readouterr().out
+
+    def test_leak_returns_nonzero(self, producer_file, capsys):
+        assert main(["check", producer_file, "--secret", "left"]) == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_simulation_prints_signal_values(self, producer_file, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    producer_file,
+                    "--set",
+                    "left=1100",
+                    "--set",
+                    "right=1010",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert 'result = "0110"' in out
+
+    def test_malformed_set_reports_error(self, producer_file, capsys):
+        assert main(["simulate", producer_file, "--set", "oops"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    def test_parse_errors_are_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.vhd"
+        path.write_text("entity broken is", encoding="utf-8")
+        assert main(["analyze", str(path)]) == 2
+        assert "error" in capsys.readouterr().err

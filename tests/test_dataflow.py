@@ -1,0 +1,97 @@
+"""Tests for the generic Monotone Framework machinery."""
+
+import pytest
+
+from repro.dataflow.framework import DataflowInstance, JoinMode
+from repro.dataflow.worklist import solve
+
+
+def make_instance(join_mode=JoinMode.UNION, **overrides):
+    """A small diamond CFG: 1 -> 2, 1 -> 3, 2 -> 4, 3 -> 4."""
+    settings = dict(
+        labels=frozenset({1, 2, 3, 4}),
+        flow=frozenset({(1, 2), (1, 3), (2, 4), (3, 4)}),
+        extremal_labels=frozenset({1}),
+        extremal_value={1: frozenset({"init"})},
+        kill={},
+        gen={2: frozenset({"left"}), 3: frozenset({"right"})},
+        join_mode=join_mode,
+    )
+    settings.update(overrides)
+    return DataflowInstance(**settings)
+
+
+class TestInstanceValidation:
+    def test_flow_must_mention_known_labels(self):
+        with pytest.raises(ValueError):
+            make_instance(flow=frozenset({(1, 99)}))
+
+    def test_extremal_labels_must_be_known(self):
+        with pytest.raises(ValueError):
+            make_instance(extremal_labels=frozenset({42}))
+
+    def test_transfer_applies_kill_then_gen(self):
+        instance = make_instance(
+            kill={2: frozenset({"init"})}, gen={2: frozenset({"left"})}
+        )
+        assert instance.transfer(2, frozenset({"init"})) == frozenset({"left"})
+
+    def test_join_union(self):
+        instance = make_instance()
+        assert instance.join([frozenset({"a"}), frozenset({"b"})]) == {"a", "b"}
+        assert instance.join([]) == frozenset()
+
+    def test_join_dotted_intersection(self):
+        instance = make_instance(join_mode=JoinMode.INTERSECTION_DOTTED)
+        assert instance.join([frozenset({"a", "b"}), frozenset({"b", "c"})]) == {"b"}
+        # the dotted intersection of the empty family is the empty set
+        assert instance.join([]) == frozenset()
+
+
+class TestWorklistSolver:
+    def test_union_analysis_on_diamond(self):
+        solution = solve(make_instance())
+        assert solution.entry_of(1) == {"init"}
+        assert solution.exit_of(2) == {"init", "left"}
+        assert solution.exit_of(3) == {"init", "right"}
+        assert solution.entry_of(4) == {"init", "left", "right"}
+
+    def test_intersection_analysis_on_diamond(self):
+        solution = solve(make_instance(join_mode=JoinMode.INTERSECTION_DOTTED))
+        # only the facts common to both branches survive at the join point
+        assert solution.entry_of(4) == {"init"}
+
+    def test_kill_removes_facts(self):
+        instance = make_instance(kill={4: frozenset({"init", "left", "right"})})
+        solution = solve(instance)
+        assert solution.exit_of(4) == frozenset()
+
+    def test_loop_reaches_fixpoint(self):
+        instance = DataflowInstance(
+            labels=frozenset({1, 2, 3}),
+            flow=frozenset({(1, 2), (2, 3), (3, 2)}),
+            extremal_labels=frozenset({1}),
+            extremal_value={1: frozenset({"seed"})},
+            kill={},
+            gen={3: frozenset({"loop"})},
+            join_mode=JoinMode.UNION,
+        )
+        solution = solve(instance)
+        assert solution.entry_of(2) == {"seed", "loop"}
+        assert solution.exit_of(3) == {"seed", "loop"}
+
+    def test_under_approximation_subset_of_over_approximation(self):
+        over = solve(make_instance())
+        under = solve(make_instance(join_mode=JoinMode.INTERSECTION_DOTTED))
+        for label in (1, 2, 3, 4):
+            assert under.entry_of(label) <= over.entry_of(label)
+            assert under.exit_of(label) <= over.exit_of(label)
+
+    def test_unknown_label_lookup_defaults_to_empty(self):
+        solution = solve(make_instance())
+        assert solution.entry_of(999) == frozenset()
+        assert solution.exit_of(999) == frozenset()
+
+    def test_iteration_count_is_reported(self):
+        solution = solve(make_instance())
+        assert solution.iterations >= 4

@@ -1,0 +1,279 @@
+"""Tests for elaboration (Section 3.3): rewrites, scoping and error checking."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.vhdl import ast
+from repro.vhdl.elaborate import elaborate, elaborate_source
+from repro.vhdl.parser import parse_program
+
+
+class TestUnitSelection:
+    def test_single_architecture_needs_no_entity_name(self):
+        design = elaborate_source(
+            "entity e is end e;"
+            "architecture a of e is begin p : process begin null; end process p; end a;"
+        )
+        assert design.name == "e"
+        assert design.architecture_name == "a"
+
+    def test_multiple_architectures_require_entity_name(self):
+        source = (
+            "entity e1 is end e1;"
+            "entity e2 is end e2;"
+            "architecture a of e1 is begin p : process begin null; end process p; end a;"
+            "architecture b of e2 is begin q : process begin null; end process q; end b;"
+        )
+        with pytest.raises(ElaborationError):
+            elaborate(parse_program(source))
+        design = elaborate(parse_program(source), "e2")
+        assert design.processes[0].name == "q"
+
+    def test_missing_entity_rejected(self):
+        source = "architecture a of ghost is begin p : process begin null; end process p; end a;"
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+    def test_missing_architecture_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("entity lonely is end lonely;")
+
+
+class TestConcurrentAssignRewriting:
+    SOURCE = """
+    entity e is
+      port( a : in std_logic; b : in std_logic; y : out std_logic );
+    end e;
+    architecture a of e is
+    begin
+      y <= a and b;
+    end a;
+    """
+
+    def test_becomes_a_process_with_trailing_wait(self):
+        design = elaborate_source(self.SOURCE)
+        assert len(design.processes) == 1
+        process = design.processes[0]
+        assert process.synthesized
+        assert isinstance(process.body[0], ast.SignalAssign)
+        wait = process.body[-1]
+        assert isinstance(wait, ast.Wait)
+        assert set(wait.signals) == {"a", "b"}
+
+    def test_sensitivity_excludes_non_signals(self):
+        source = """
+        entity e is port( a : in std_logic; y : out std_logic ); end e;
+        architecture arch of e is
+        begin
+          y <= a xor '1';
+        end arch;
+        """
+        design = elaborate_source(source)
+        assert set(design.processes[0].body[-1].signals) == {"a"}
+
+
+class TestBlocks:
+    SOURCE = """
+    entity e is port( a : in std_logic; y : out std_logic ); end e;
+    architecture arch of e is
+    begin
+      blk : block
+        signal hidden : std_logic;
+      begin
+        inner : process
+        begin
+          hidden <= a;
+          wait on a;
+        end process inner;
+
+        y <= hidden;
+      end block blk;
+    end arch;
+    """
+
+    def test_block_signals_are_hoisted(self):
+        design = elaborate_source(self.SOURCE)
+        assert "hidden" in design.signals
+        assert not design.signals["hidden"].is_port
+
+    def test_block_body_is_flattened(self):
+        design = elaborate_source(self.SOURCE)
+        names = [p.name for p in design.processes]
+        assert "inner" in names
+        assert len(design.processes) == 2  # inner + synthesized concurrent assign
+
+    def test_duplicate_block_signal_rejected(self):
+        source = """
+        entity e is port( a : in std_logic ); end e;
+        architecture arch of e is
+          signal s : std_logic;
+        begin
+          blk : block
+            signal s : std_logic;
+          begin
+            inner : process begin s <= a; wait on a; end process inner;
+          end block blk;
+        end arch;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+
+class TestSensitivityLists:
+    def test_sensitivity_list_becomes_trailing_wait(self):
+        source = """
+        entity e is port( clk : in std_logic; q : out std_logic ); end e;
+        architecture a of e is
+        begin
+          p : process(clk)
+          begin
+            q <= clk;
+          end process p;
+        end a;
+        """
+        design = elaborate_source(source)
+        wait = design.processes[0].body[-1]
+        assert isinstance(wait, ast.Wait)
+        assert wait.signals == ("clk",)
+
+
+class TestNameResolution:
+    def test_kinds_are_resolved(self):
+        source = """
+        entity e is port( s : in std_logic; y : out std_logic ); end e;
+        architecture a of e is
+        begin
+          p : process
+            variable v : std_logic;
+          begin
+            v := s;
+            y <= v;
+            wait on s;
+          end process p;
+        end a;
+        """
+        design = elaborate_source(source)
+        body = design.processes[0].body
+        assert body[0].value.kind is ast.NameKind.SIGNAL
+        assert body[1].value.kind is ast.NameKind.VARIABLE
+
+    def test_undeclared_name_rejected(self):
+        source = """
+        entity e is end e;
+        architecture a of e is
+        begin
+          p : process begin x := ghost; end process p;
+        end a;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+    def test_assignment_to_undeclared_variable_rejected(self):
+        source = """
+        entity e is port( s : in std_logic ); end e;
+        architecture a of e is
+        begin
+          p : process begin x := s; wait on s; end process p;
+        end a;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+    def test_assignment_to_input_port_rejected(self):
+        source = """
+        entity e is port( s : in std_logic ); end e;
+        architecture a of e is
+        begin
+          p : process begin s <= '1'; wait on s; end process p;
+        end a;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+    def test_variable_shadowing_signal_rejected(self):
+        source = """
+        entity e is port( s : in std_logic ); end e;
+        architecture a of e is
+        begin
+          p : process
+            variable s : std_logic;
+          begin
+            s := '1';
+            wait on s;
+          end process p;
+        end a;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+    def test_duplicate_process_names_rejected(self):
+        source = """
+        entity e is end e;
+        architecture a of e is
+        begin
+          p : process begin null; end process p;
+          p : process begin null; end process p;
+        end a;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+    def test_signal_declared_in_process_rejected(self):
+        source = """
+        entity e is end e;
+        architecture a of e is
+        begin
+          p : process
+            signal s : std_logic;
+          begin
+            null;
+          end process p;
+        end a;
+        """
+        with pytest.raises(ElaborationError):
+            elaborate_source(source)
+
+
+class TestToRangeNormalisation:
+    SOURCE = """
+    entity e is
+      port( data : in std_logic_vector(0 to 7);
+            y    : out std_logic_vector(7 downto 0) );
+    end e;
+    architecture a of e is
+    begin
+      p : process
+        variable v : std_logic_vector(0 to 3);
+      begin
+        v := data(0 to 3);
+        y(7 downto 4) <= v(0 to 3);
+        y(3 downto 0) <= data(4 to 7);
+        wait on data;
+      end process p;
+    end a;
+    """
+
+    def test_declarations_become_downto(self):
+        design = elaborate_source(self.SOURCE)
+        port_type = design.signals["data"].sig_type
+        assert port_type.direction is ast.RangeDirection.DOWNTO
+        assert (port_type.left, port_type.right) == (7, 0)
+        var_type = design.processes[0].variables["v"].var_type
+        assert var_type.direction is ast.RangeDirection.DOWNTO
+
+    def test_slice_references_are_reindexed(self):
+        design = elaborate_source(self.SOURCE)
+        body = design.processes[0].body
+        first = body[0].value
+        # data(0 to 7) has offset 7; data(0 to 3) becomes data(7 downto 4)
+        assert (first.left, first.right) == (7, 4)
+        assert first.direction is ast.RangeDirection.DOWNTO
+        # targets are normalised as well
+        assert body[1].target_slice == (7, 4, ast.RangeDirection.DOWNTO)
+        assert body[2].value.left == 3 and body[2].value.right == 0
+
+    def test_port_classification(self):
+        design = elaborate_source(self.SOURCE)
+        assert design.signals["data"].is_input
+        assert design.signals["y"].is_output
+        assert design.signals["data"].width == 8

@@ -1,0 +1,67 @@
+"""The example scripts must stay runnable — they double as end-to-end tests."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # DOT outputs land in the script directory, not cwd
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLES) >= 3
+
+
+class TestExampleContent:
+    def test_quickstart_reports_dependencies(self, tmp_path):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "result <- data, enable, mask" in completed.stdout
+
+    def test_shiftrows_audit_reports_the_precision_gap(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "aes_shiftrows_audit.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "false positives eliminated by the analysis: 120" in completed.stdout
+
+    def test_covert_channel_check_distinguishes_the_variants(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "covert_channel_check.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "verdict: PERMISSIBLE" in completed.stdout
+        assert "verdict: COVERT CHANNEL FOUND" in completed.stdout
+
+    def test_simulation_example_validates_against_reference(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "simulate_aes_round.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert "MISMATCH" not in completed.stdout
+        assert completed.stdout.count("OK") >= 4

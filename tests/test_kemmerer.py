@@ -1,0 +1,80 @@
+"""Tests for Kemmerer's baseline and its comparison with the paper's analysis."""
+
+from repro.analysis.api import analyze, analyze_kemmerer
+from repro import workloads
+from repro.aes.generator import shift_rows_paper_source, shift_rows_row_nodes
+
+
+class TestKemmererBaseline:
+    def test_result_graph_is_transitively_closed(self):
+        result = analyze_kemmerer(workloads.producer_consumer_program())
+        assert result.graph.is_transitive()
+
+    def test_direct_graph_is_subgraph_of_closed_graph(self):
+        result = analyze_kemmerer(workloads.producer_consumer_program())
+        assert result.direct_graph.is_subgraph_of(result.graph)
+
+    def test_program_a_gets_the_spurious_edge(self):
+        result = analyze_kemmerer(workloads.paper_program_a(), loop_processes=False)
+        graph = result.graph.without_self_loops()
+        assert graph.has_edge("a", "c")
+
+    def test_program_b_matches_our_analysis(self):
+        ours = analyze(
+            workloads.paper_program_b(), improved=False, loop_processes=False
+        ).graph_without_self_loops()
+        kemmerer = analyze_kemmerer(
+            workloads.paper_program_b(), loop_processes=False
+        ).graph.without_self_loops()
+        assert ours.edges == kemmerer.edges
+
+    def test_our_analysis_is_never_less_sound_than_kemmerer_on_these_programs(self):
+        # Kemmerer's method over-approximates the paper's analysis: every edge
+        # our analysis reports between program resources is also reported by
+        # Kemmerer's transitive closure.
+        for source in (
+            workloads.paper_program_a(),
+            workloads.paper_program_b(),
+            workloads.producer_consumer_program(),
+            workloads.conditional_program(),
+        ):
+            ours = analyze(source, improved=False).graph_without_self_loops()
+            kemmerer = analyze_kemmerer(source).graph.without_self_loops()
+            assert ours.is_subgraph_of(kemmerer)
+
+
+class TestShiftRowsComparison:
+    def test_kemmerer_conflates_the_rows(self):
+        nodes = [n for row in shift_rows_row_nodes().values() for n in row]
+        kemmerer = (
+            analyze_kemmerer(shift_rows_paper_source(), loop_processes=False)
+            .graph.without_self_loops()
+            .restricted_to(nodes)
+        )
+        cross_row = [
+            (src, dst)
+            for src, dst in kemmerer.edges
+            if src.split("_")[1] != dst.split("_")[1]
+        ]
+        assert cross_row, "Kemmerer's method should mix the rows"
+        # with a single shared temporary the closure connects every element to
+        # every other element
+        assert kemmerer.edge_count() == 12 * 11
+
+    def test_our_analysis_is_strictly_more_precise(self):
+        nodes = [n for row in shift_rows_row_nodes().values() for n in row]
+        ours = (
+            analyze(shift_rows_paper_source(), improved=True, loop_processes=False)
+            .collapsed_graph()
+            .without_self_loops()
+            .restricted_to(nodes)
+        )
+        kemmerer = (
+            analyze_kemmerer(shift_rows_paper_source(), loop_processes=False)
+            .graph.without_self_loops()
+            .restricted_to(nodes)
+        )
+        assert ours.is_subgraph_of(kemmerer)
+        assert ours.edge_count() < kemmerer.edge_count()
+        false_positives = kemmerer.edge_difference(ours)
+        assert len(false_positives) == 12 * 11 - 12

@@ -1,0 +1,123 @@
+"""Tests for the VHDL1 lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.vhdl.lexer import tokenize
+from repro.vhdl.tokens import TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestTokenKinds:
+    def test_empty_input_gives_only_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("entity foo is end foo;")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+        assert tokens[1].text == "foo"
+
+    def test_identifiers_are_lowercased(self):
+        assert texts("MySignal") == ["mysignal"]
+        assert tokenize("ENTITY")[0].kind is TokenKind.KEYWORD
+
+    def test_integer_literal(self):
+        token = tokenize("127")[0]
+        assert token.kind is TokenKind.INTEGER
+        assert token.text == "127"
+
+    def test_char_literal(self):
+        token = tokenize("'1'")[0]
+        assert token.kind is TokenKind.CHAR_LITERAL
+        assert token.text == "1"
+
+    def test_char_literal_lowercase_normalised(self):
+        assert tokenize("'z'")[0].text == "Z"
+
+    def test_char_literal_invalid_value(self):
+        with pytest.raises(LexerError):
+            tokenize("'q'")
+
+    def test_char_literal_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize("'1")
+
+    def test_string_literal(self):
+        token = tokenize('"10ZX"')[0]
+        assert token.kind is TokenKind.STRING_LITERAL
+        assert token.text == "10ZX"
+
+    def test_string_literal_invalid_character(self):
+        with pytest.raises(LexerError):
+            tokenize('"102"')
+
+    def test_string_literal_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize('"10')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("@")
+
+
+class TestOperators:
+    def test_assignment_operators(self):
+        assert kinds("a := b;")[1] is TokenKind.ASSIGN_VAR
+        assert kinds("a <= b;")[1] is TokenKind.ASSIGN_SIG
+
+    def test_relational_operators(self):
+        assert kinds("a = b")[1] is TokenKind.EQ
+        assert kinds("a /= b")[1] is TokenKind.NEQ
+        assert kinds("a < b")[1] is TokenKind.LT
+        assert kinds("a > b")[1] is TokenKind.GT
+        assert kinds("a >= b")[1] is TokenKind.GE
+
+    def test_arithmetic_operators(self):
+        assert kinds("a + b")[1] is TokenKind.PLUS
+        assert kinds("a - b")[1] is TokenKind.MINUS
+        assert kinds("a * b")[1] is TokenKind.STAR
+        assert kinds("a / b")[1] is TokenKind.SLASH
+        assert kinds("a & b")[1] is TokenKind.AMPERSAND
+
+    def test_punctuation(self):
+        source = "( ) : ; , =>"
+        assert kinds(source)[:-1] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COLON,
+            TokenKind.SEMICOLON,
+            TokenKind.COMMA,
+            TokenKind.ARROW,
+        ]
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_are_skipped(self):
+        assert texts("a -- this is a comment\nb") == ["a", "b"]
+
+    def test_comment_at_end_of_input(self):
+        assert texts("a -- trailing") == ["a"]
+
+    def test_minus_followed_by_identifier_is_not_a_comment(self):
+        assert kinds("a - b")[1] is TokenKind.MINUS
+
+    def test_positions_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].position.line == 1
+        assert tokens[0].position.column == 1
+        assert tokens[1].position.line == 2
+        assert tokens[1].position.column == 3
+
+    def test_is_keyword_helper(self):
+        token = tokenize("process")[0]
+        assert token.is_keyword("process")
+        assert token.is_keyword("PROCESS")
+        assert not token.is_keyword("entity")

@@ -1,0 +1,302 @@
+"""Tests for the VHDL1 parser and the pretty-printer round trip."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vhdl import ast
+from repro.vhdl.parser import (
+    parse_expression,
+    parse_program,
+    parse_statement,
+    parse_statements,
+)
+from repro.vhdl.pretty import format_program, format_statements
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert isinstance(parse_expression("'1'"), ast.LogicLiteral)
+        assert isinstance(parse_expression('"1010"'), ast.VectorLiteral)
+        assert isinstance(parse_expression("42"), ast.IntegerLiteral)
+
+    def test_true_false_sugar(self):
+        assert parse_expression("true").value == "1"
+        assert parse_expression("false").value == "0"
+
+    def test_name_and_slice(self):
+        name = parse_expression("data")
+        assert isinstance(name, ast.Name) and name.ident == "data"
+        sliced = parse_expression("data(7 downto 4)")
+        assert isinstance(sliced, ast.SliceName)
+        assert (sliced.left, sliced.right) == (7, 4)
+        assert sliced.direction is ast.RangeDirection.DOWNTO
+
+    def test_single_bit_index_becomes_degenerate_slice(self):
+        sliced = parse_expression("data(3)")
+        assert isinstance(sliced, ast.SliceName)
+        assert (sliced.left, sliced.right) == (3, 3)
+
+    def test_to_direction_slice(self):
+        sliced = parse_expression("data(0 to 3)")
+        assert sliced.direction is ast.RangeDirection.TO
+
+    def test_unary_not(self):
+        expr = parse_expression("not a")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.operator == "not"
+
+    def test_binary_operators(self):
+        expr = parse_expression("a xor b")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.operator == "xor"
+
+    def test_precedence_relational_binds_tighter_than_logical(self):
+        expr = parse_expression("a = '1' and b = '0'")
+        assert expr.operator == "and"
+        assert expr.left.operator == "="
+        assert expr.right.operator == "="
+
+    def test_precedence_adding_binds_tighter_than_relational(self):
+        expr = parse_expression("a + b = c")
+        assert expr.operator == "="
+        assert expr.left.operator == "+"
+
+    def test_concatenation(self):
+        expr = parse_expression("a(6 downto 0) & '0'")
+        assert expr.operator == "&"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("a and (b or c)")
+        assert expr.operator == "and"
+        assert expr.right.operator == "or"
+
+    def test_less_equal_inside_expression_is_relational(self):
+        expr = parse_expression("a <= b")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.operator == "<="
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+
+class TestStatements:
+    def test_null(self):
+        assert isinstance(parse_statement("null;"), ast.Null)
+
+    def test_variable_assignment(self):
+        stmt = parse_statement("x := a xor b;")
+        assert isinstance(stmt, ast.VariableAssign)
+        assert stmt.target == "x"
+        assert stmt.target_slice is None
+
+    def test_variable_slice_assignment(self):
+        stmt = parse_statement("x(7 downto 4) := a;")
+        assert stmt.target_slice == (7, 4, ast.RangeDirection.DOWNTO)
+
+    def test_signal_assignment(self):
+        stmt = parse_statement("s <= '1';")
+        assert isinstance(stmt, ast.SignalAssign)
+
+    def test_wait_variants(self):
+        full = parse_statement("wait on clk, rst until rst = '0';")
+        assert set(full.signals) == {"clk", "rst"}
+        assert full.condition is not None
+
+        bare = parse_statement("wait;")
+        assert bare.signals == () and bare.condition is None
+
+        on_only = parse_statement("wait on clk;")
+        assert on_only.signals == ("clk",) and on_only.condition is None
+
+    def test_wait_until_defaults_signals_to_free_names(self):
+        stmt = parse_statement("wait until enable = '1';")
+        assert stmt.signals == ("enable",)
+
+    def test_if_with_else(self):
+        stmt = parse_statement("if sel = '1' then x := a; else x := b; end if;")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_branch) == 1
+        assert len(stmt.else_branch) == 1
+
+    def test_if_without_else_gets_null_branch(self):
+        stmt = parse_statement("if sel = '1' then x := a; end if;")
+        assert len(stmt.else_branch) == 1
+        assert isinstance(stmt.else_branch[0], ast.Null)
+
+    def test_elsif_chain_desugars_to_nested_if(self):
+        stmt = parse_statement(
+            "if a = '1' then x := '1'; elsif b = '1' then x := '0'; "
+            "else x := 'Z'; end if;"
+        )
+        nested = stmt.else_branch[0]
+        assert isinstance(nested, ast.If)
+        assert len(nested.else_branch) == 1
+
+    def test_while_loop(self):
+        stmt = parse_statement("while c /= \"00\" loop c := c - \"01\"; end loop;")
+        assert isinstance(stmt, ast.While)
+        assert len(stmt.body) == 1
+
+    def test_statement_sequence(self):
+        statements = parse_statements("x := a; y := b; s <= x;")
+        assert len(statements) == 3
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("x := a")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("entity;")
+
+
+class TestDesignUnits:
+    ENTITY = """
+    entity adder is
+      port( a : in std_logic_vector(3 downto 0);
+            b : in std_logic_vector(3 downto 0);
+            y : out std_logic_vector(3 downto 0) );
+    end adder;
+    """
+
+    ARCHITECTURE = """
+    architecture behav of adder is
+      signal t : std_logic_vector(3 downto 0);
+    begin
+      p : process
+        variable v : std_logic_vector(3 downto 0);
+      begin
+        v := a + b;
+        t <= v;
+        wait on a, b;
+      end process p;
+
+      y <= t;
+    end behav;
+    """
+
+    def test_entity_ports(self):
+        program = parse_program(self.ENTITY)
+        entity = program.entities[0]
+        assert entity.name == "adder"
+        assert [p.name for p in entity.ports] == ["a", "b", "y"]
+        assert entity.ports[0].mode is ast.PortMode.IN
+        assert entity.ports[2].mode is ast.PortMode.OUT
+
+    def test_grouped_port_declaration(self):
+        program = parse_program(
+            "entity e is port( a, b : in std_logic; y : out std_logic ); end e;"
+        )
+        names = [p.name for p in program.entities[0].ports]
+        assert names == ["a", "b", "y"]
+        assert all(p.mode is ast.PortMode.IN for p in program.entities[0].ports[:2])
+
+    def test_portless_entity(self):
+        program = parse_program("entity top is end top;")
+        assert program.entities[0].ports == []
+
+    def test_architecture_structure(self):
+        program = parse_program(self.ENTITY + self.ARCHITECTURE)
+        arch = program.architectures[0]
+        assert arch.entity_name == "adder"
+        assert len(arch.declarations) == 1
+        assert len(arch.body) == 2
+        assert isinstance(arch.body[0], ast.ProcessStatement)
+        assert isinstance(arch.body[1], ast.ConcurrentAssign)
+
+    def test_process_with_sensitivity_list(self):
+        source = """
+        entity e is port( clk : in std_logic; q : out std_logic ); end e;
+        architecture a of e is
+        begin
+          p : process(clk)
+          begin
+            q <= clk;
+          end process p;
+        end a;
+        """
+        program = parse_program(source)
+        process = program.architectures[0].body[0]
+        assert process.sensitivity == ("clk",)
+
+    def test_block_statement(self):
+        source = """
+        entity e is end e;
+        architecture a of e is
+        begin
+          blk : block
+            signal inner : std_logic;
+          begin
+            inner <= '1';
+          end block blk;
+        end a;
+        """
+        program = parse_program(source)
+        block = program.architectures[0].body[0]
+        assert isinstance(block, ast.BlockStatement)
+        assert block.name == "blk"
+        assert len(block.declarations) == 1
+
+    def test_mismatched_closing_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("entity foo is end bar;")
+
+    def test_unlabelled_process_rejected(self):
+        source = """
+        entity e is end e;
+        architecture a of e is
+        begin
+          process begin null; end process;
+        end a;
+        """
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_entity_lookup_helpers(self):
+        program = parse_program(self.ENTITY + self.ARCHITECTURE)
+        assert program.entity("ADDER") is program.entities[0]
+        assert program.entity("missing") is None
+        assert program.architecture_of("adder") is program.architectures[0]
+
+
+class TestPrettyPrinterRoundTrip:
+    def _roundtrip(self, source: str) -> None:
+        program = parse_program(source)
+        printed = format_program(program)
+        reparsed = parse_program(printed)
+        assert format_program(reparsed) == printed
+
+    def test_roundtrip_full_design(self):
+        self._roundtrip(TestDesignUnits.ENTITY + TestDesignUnits.ARCHITECTURE)
+
+    def test_roundtrip_control_flow(self):
+        source = """
+        entity ctl is port( s : in std_logic; y : out std_logic ); end ctl;
+        architecture a of ctl is
+        begin
+          p : process
+            variable c : std_logic_vector(1 downto 0);
+          begin
+            c := "10";
+            while c /= "00" loop
+              if s = '1' then
+                c := c - "01";
+              else
+                c := "00";
+              end if;
+            end loop;
+            y <= c(0);
+            wait on s;
+          end process p;
+        end a;
+        """
+        self._roundtrip(source)
+
+    def test_statement_roundtrip(self):
+        from repro.vhdl.parser import parse_statements
+
+        source = "x := a; if a = '1' then s <= b; else null; end if; wait on a;"
+        statements = parse_statements(source)
+        printed = format_statements(statements)
+        assert format_statements(parse_statements(printed)) == printed

@@ -1,0 +1,124 @@
+"""Tests for the pretty printer (beyond the round-trip checks in test_parser)."""
+
+import pytest
+
+from repro.vhdl import ast
+from repro.vhdl.parser import parse_expression, parse_program, parse_statement
+from repro.vhdl.pretty import (
+    format_declaration,
+    format_entity,
+    format_expression,
+    format_program,
+    format_statement,
+    format_type,
+)
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("'1'", "'1'"),
+            ('"10ZX"', '"10ZX"'),
+            ("a", "a"),
+            ("a(7 downto 0)", "a(7 downto 0)"),
+            ("a(3)", "a(3)"),
+            ("not a", "(not a)"),
+            ("a xor b", "(a xor b)"),
+            ("a & '0'", "(a & '0')"),
+        ],
+    )
+    def test_expression_rendering(self, source, expected):
+        assert format_expression(parse_expression(source)) == expected
+
+    def test_unknown_expression_node_rejected(self):
+        with pytest.raises(TypeError):
+            format_expression(object())  # type: ignore[arg-type]
+
+
+class TestTypesAndDeclarations:
+    def test_types(self):
+        assert format_type(ast.StdLogicType()) == "std_logic"
+        assert (
+            format_type(ast.StdLogicVectorType(left=7, right=0))
+            == "std_logic_vector(7 downto 0)"
+        )
+        assert (
+            format_type(
+                ast.StdLogicVectorType(
+                    left=0, right=3, direction=ast.RangeDirection.TO
+                )
+            )
+            == "std_logic_vector(0 to 3)"
+        )
+
+    def test_declarations_with_and_without_initialisers(self):
+        variable = ast.VariableDeclaration(
+            name="v",
+            var_type=ast.StdLogicType(),
+            initial=ast.LogicLiteral(value="0"),
+        )
+        signal = ast.SignalDeclaration(
+            name="s", sig_type=ast.StdLogicVectorType(left=3, right=0)
+        )
+        assert format_declaration(variable) == "variable v : std_logic := '0';"
+        assert format_declaration(signal) == "signal s : std_logic_vector(3 downto 0);"
+
+
+class TestStatements:
+    def test_single_bit_target_slice_uses_index_syntax(self):
+        stmt = parse_statement("y(3) := a;")
+        assert format_statement(stmt) == ["y(3) := a;"]
+
+    def test_wait_rendering_variants(self):
+        assert format_statement(parse_statement("wait;")) == ["wait;"]
+        assert format_statement(parse_statement("wait on a, b;")) == ["wait on a, b;"]
+        rendered = format_statement(parse_statement("wait on a until a = '1';"))
+        assert rendered == ["wait on a until (a = '1');"]
+
+    def test_if_rendering_always_includes_else(self):
+        lines = format_statement(parse_statement("if a = '1' then x := b; end if;"))
+        assert "else" in lines
+        assert lines[-1] == "end if;"
+
+    def test_nested_indentation(self):
+        lines = format_statement(
+            parse_statement(
+                "while a = '1' loop if b = '1' then x := c; end if; end loop;"
+            ),
+            indent=1,
+        )
+        assert lines[0].startswith("  while")
+        assert any(line.startswith("    if") for line in lines)
+
+
+class TestDesignUnits:
+    def test_entity_without_ports(self):
+        entity = ast.Entity(name="top")
+        assert format_entity(entity) == "entity top is\nend top;"
+
+    def test_program_rendering_preserves_unit_order(self):
+        source = (
+            "entity a is end a;"
+            "entity b is end b;"
+            "architecture impl of a is begin p : process begin null; end process p; end impl;"
+        )
+        printed = format_program(parse_program(source))
+        assert printed.index("entity a") < printed.index("entity b")
+        assert printed.index("entity b") < printed.index("architecture impl")
+
+    def test_block_statements_round_trip(self):
+        source = """
+        entity e is port( a : in std_logic ); end e;
+        architecture arch of e is
+        begin
+          blk : block
+            signal s : std_logic;
+          begin
+            inner : process begin s <= a; wait on a; end process inner;
+          end block blk;
+        end arch;
+        """
+        printed = format_program(parse_program(source))
+        assert "blk : block" in printed
+        assert format_program(parse_program(printed)) == printed

@@ -1,0 +1,145 @@
+"""Tests for the active-signals Reaching Definitions analysis (Table 4)."""
+
+from repro.analysis.reaching_active import (
+    analyze_active_signals,
+    analyze_all_active_signals,
+    gen_active,
+    kill_active,
+)
+from repro.cfg.builder import build_cfg
+from repro.cfg.labels import BlockKind
+from repro.vhdl.elaborate import elaborate_source
+
+
+def cfg_of(source, process="p", loop=True):
+    design = elaborate_source(source)
+    return build_cfg(design, loop_processes=loop).processes[process]
+
+
+STRAIGHT = """
+entity e is port( a : in std_logic; s : out std_logic; t : out std_logic ); end e;
+architecture arch of e is
+begin
+  p : process
+  begin
+    s <= a;
+    t <= a;
+    s <= a;
+    wait on a;
+  end process p;
+end arch;
+"""
+
+
+BRANCHING = """
+entity e is port( a : in std_logic; c : in std_logic; s : out std_logic; t : out std_logic ); end e;
+architecture arch of e is
+begin
+  p : process
+  begin
+    if c = '1' then
+      s <= a;
+    else
+      t <= a;
+    end if;
+    wait on a, c;
+  end process p;
+end arch;
+"""
+
+
+class TestKillGen:
+    def test_signal_assignment_generates_its_own_pair(self):
+        cfg = cfg_of(STRAIGHT)
+        first = min(label for label, b in cfg.blocks.items() if b.kind is BlockKind.SIGNAL_ASSIGN)
+        assert gen_active(cfg.blocks[first]) == {("s", first)}
+
+    def test_signal_assignment_kills_other_assignments_to_same_signal(self):
+        cfg = cfg_of(STRAIGHT)
+        s_labels = sorted(cfg.assignment_labels_of_signal("s"))
+        killed = kill_active(cfg.blocks[s_labels[0]], cfg)
+        assert ("s", s_labels[0]) in killed
+        assert ("s", s_labels[1]) in killed
+        assert all(signal == "s" for signal, _ in killed)
+
+    def test_wait_kills_every_active_definition(self):
+        cfg = cfg_of(STRAIGHT)
+        wait_label = next(iter(cfg.wait_labels))
+        killed = kill_active(cfg.blocks[wait_label], cfg)
+        assert killed == {
+            (block.statement.target, label)
+            for label, block in cfg.blocks.items()
+            if block.kind is BlockKind.SIGNAL_ASSIGN
+        }
+
+    def test_other_blocks_are_identity(self):
+        cfg = cfg_of(STRAIGHT)
+        null_label = cfg.entry_label
+        assert kill_active(cfg.blocks[null_label], cfg) == frozenset()
+        assert gen_active(cfg.blocks[null_label]) == frozenset()
+
+
+class TestStraightLineProcess:
+    def test_last_assignment_wins_at_the_wait(self):
+        cfg = cfg_of(STRAIGHT)
+        result = analyze_active_signals(cfg)
+        wait_label = next(iter(cfg.wait_labels))
+        s_labels = sorted(cfg.assignment_labels_of_signal("s"))
+        t_labels = sorted(cfg.assignment_labels_of_signal("t"))
+        assert result.over_entry_of(wait_label) == {
+            ("s", s_labels[1]),
+            ("t", t_labels[0]),
+        }
+
+    def test_over_equals_under_without_branching(self):
+        cfg = cfg_of(STRAIGHT)
+        result = analyze_active_signals(cfg)
+        for label in cfg.blocks:
+            assert result.over_entry_of(label) == result.under_entry_of(label)
+
+    def test_nothing_is_active_after_the_wait(self):
+        cfg = cfg_of(STRAIGHT)
+        result = analyze_active_signals(cfg)
+        wait_label = next(iter(cfg.wait_labels))
+        assert result.over_exit[wait_label] == frozenset()
+
+    def test_entry_of_process_is_empty(self):
+        cfg = cfg_of(STRAIGHT)
+        result = analyze_active_signals(cfg)
+        assert result.over_entry_of(cfg.entry_label) == frozenset()
+        assert result.under_entry_of(cfg.entry_label) == frozenset()
+
+
+class TestBranchingProcess:
+    def test_over_approximation_unions_the_branches(self):
+        cfg = cfg_of(BRANCHING)
+        result = analyze_active_signals(cfg)
+        wait_label = next(iter(cfg.wait_labels))
+        assert result.may_be_active_at(wait_label) == {"s", "t"}
+
+    def test_under_approximation_intersects_the_branches(self):
+        cfg = cfg_of(BRANCHING)
+        result = analyze_active_signals(cfg)
+        wait_label = next(iter(cfg.wait_labels))
+        assert result.must_be_active_at(wait_label) == frozenset()
+
+    def test_under_is_always_a_subset_of_over(self):
+        cfg = cfg_of(BRANCHING)
+        result = analyze_active_signals(cfg)
+        for label in cfg.blocks:
+            assert result.under_entry_of(label) <= result.over_entry_of(label)
+
+
+class TestMultipleProcesses:
+    def test_analysis_is_per_process(self, producer_consumer_design):
+        program_cfg = build_cfg(producer_consumer_design)
+        results = analyze_all_active_signals(program_cfg.processes)
+        assert set(results) == {"producer", "consumer"}
+        producer_cfg = program_cfg.processes["producer"]
+        consumer_cfg = program_cfg.processes["consumer"]
+        producer_wait = next(iter(producer_cfg.wait_labels))
+        consumer_wait = next(iter(consumer_cfg.wait_labels))
+        assert results["producer"].may_be_active_at(producer_wait) == {"link"}
+        assert results["consumer"].may_be_active_at(consumer_wait) == {"result"}
+        # a process knows nothing about the other process's labels
+        assert results["consumer"].over_entry_of(producer_wait) == frozenset()

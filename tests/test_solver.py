@@ -1,0 +1,165 @@
+"""Tests for the Datalog-style constraint solver (Succinct Solver substitute)."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.clauses import Fact, Rule
+from repro.solver.engine import Database, SolverEngine
+from repro.solver.terms import Atom, Constant, Variable, term
+
+
+class TestTerms:
+    def test_term_coercion_convention(self):
+        assert isinstance(term("X"), Variable)
+        assert isinstance(term("_anything"), Variable)
+        assert isinstance(term("lowercase"), Constant)
+        assert isinstance(term(42), Constant)
+        assert term(Constant("X")) == Constant("X")
+
+    def test_atom_of_builds_mixed_atoms(self):
+        atom = Atom.of("edge", "X", "b")
+        assert isinstance(atom.terms[0], Variable)
+        assert isinstance(atom.terms[1], Constant)
+        assert atom.arity == 2
+        assert not atom.is_ground()
+
+    def test_ground_tuple(self):
+        atom = Atom.of("edge", "a", 2)
+        assert atom.is_ground()
+        assert atom.ground_tuple() == ("a", 2)
+        with pytest.raises(ValueError):
+            Atom.of("edge", "X", 2).ground_tuple()
+
+    def test_match_binds_variables_consistently(self):
+        atom = Atom.of("edge", "X", "X")
+        assert atom.match(("a", "a"), {}) == {Variable("X"): "a"}
+        assert atom.match(("a", "b"), {}) is None
+        assert atom.match(("a",), {}) is None
+
+    def test_match_respects_existing_bindings(self):
+        atom = Atom.of("edge", "X", "Y")
+        bindings = {Variable("X"): "a"}
+        assert atom.match(("a", "b"), bindings) == {
+            Variable("X"): "a",
+            Variable("Y"): "b",
+        }
+        assert atom.match(("c", "b"), bindings) is None
+
+    def test_substitute(self):
+        atom = Atom.of("edge", "X", "Y").substitute({Variable("X"): "a"})
+        assert atom.terms[0] == Constant("a")
+        assert isinstance(atom.terms[1], Variable)
+
+
+class TestClauses:
+    def test_facts_must_be_ground(self):
+        with pytest.raises(SolverError):
+            Fact(Atom.of("p", "X"))
+
+    def test_rules_need_a_body(self):
+        with pytest.raises(SolverError):
+            Rule(head=Atom.of("p", "X"), body=())
+
+    def test_head_variables_must_occur_in_body(self):
+        with pytest.raises(SolverError):
+            Rule(head=Atom.of("p", "X", "Y"), body=(Atom.of("q", "X"),))
+
+    def test_repr_mentions_rule_name(self):
+        rule = Rule(
+            name="closure", head=Atom.of("p", "X"), body=(Atom.of("q", "X"),)
+        )
+        assert "closure" in repr(rule)
+
+
+class TestDatabase:
+    def test_add_reports_novelty(self):
+        database = Database()
+        assert database.add("p", ("a",))
+        assert not database.add("p", ("a",))
+        assert database.size() == 1
+        assert ("p", ("a",)) in database
+        assert database.predicates() == ["p"]
+
+
+class TestEvaluation:
+    def _transitive_closure_engine(self, edges):
+        engine = SolverEngine()
+        for src, dst in edges:
+            engine.add_fact("edge", src, dst)
+        engine.add_rule(
+            Rule(head=Atom.of("path", "X", "Y"), body=(Atom.of("edge", "X", "Y"),))
+        )
+        engine.add_rule(
+            Rule(
+                head=Atom.of("path", "X", "Z"),
+                body=(Atom.of("path", "X", "Y"), Atom.of("edge", "Y", "Z")),
+            )
+        )
+        return engine
+
+    def test_transitive_closure_of_a_chain(self):
+        engine = self._transitive_closure_engine([("a", "b"), ("b", "c"), ("c", "d")])
+        database = engine.solve()
+        paths = database.relation("path")
+        assert ("a", "d") in paths
+        assert ("b", "d") in paths
+        assert len(paths) == 6
+
+    def test_transitive_closure_of_a_cycle_terminates(self):
+        engine = self._transitive_closure_engine([("a", "b"), ("b", "a")])
+        database = engine.solve()
+        assert database.relation("path") == {
+            ("a", "b"),
+            ("b", "a"),
+            ("a", "a"),
+            ("b", "b"),
+        }
+
+    def test_guard_filters_derivations(self):
+        engine = SolverEngine()
+        for value in range(5):
+            engine.add_fact("num", value)
+        engine.add_rule(
+            Rule(
+                head=Atom.of("even", "X"),
+                body=(Atom.of("num", "X"),),
+                guard=lambda bindings: bindings[Variable("X")] % 2 == 0,
+            )
+        )
+        database = engine.solve()
+        assert database.relation("even") == {(0,), (2,), (4,)}
+
+    def test_join_across_relations(self):
+        engine = SolverEngine()
+        engine.add_fact("parent", "ann", "bob")
+        engine.add_fact("parent", "bob", "cid")
+        engine.add_fact("parent", "bob", "dee")
+        engine.add_rule(
+            Rule(
+                head=Atom.of("grandparent", "X", "Z"),
+                body=(Atom.of("parent", "X", "Y"), Atom.of("parent", "Y", "Z")),
+            )
+        )
+        database = engine.solve()
+        assert database.relation("grandparent") == {("ann", "cid"), ("ann", "dee")}
+
+    def test_constants_in_rule_bodies_select_tuples(self):
+        engine = SolverEngine()
+        engine.add_fact("access", "x", 1, "R0")
+        engine.add_fact("access", "y", 1, "M0")
+        engine.add_rule(
+            Rule(
+                head=Atom.of("read", "N"),
+                body=(Atom.of("access", "N", "L", Constant("R0")),),
+            )
+        )
+        database = engine.solve()
+        assert database.relation("read") == {("x",)}
+
+    def test_max_rounds_guard(self):
+        engine = self._transitive_closure_engine([("a", "b"), ("b", "c")])
+        with pytest.raises(SolverError):
+            engine.solve(max_rounds=1)
+
+    def test_empty_program_yields_empty_database(self):
+        assert SolverEngine().solve().size() == 0

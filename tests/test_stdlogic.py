@@ -1,0 +1,301 @@
+"""Tests for the IEEE-1164 nine-valued logic domain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.vhdl.stdlogic import (
+    DONT_CARE,
+    H,
+    L,
+    ONE,
+    STD_LOGIC_CHARS,
+    StdLogic,
+    StdLogicVector,
+    U,
+    W,
+    X,
+    Z,
+    ZERO,
+    resolve_values,
+    value_to_string,
+)
+
+logic_values = st.sampled_from([StdLogic(c) for c in STD_LOGIC_CHARS])
+bit_strings = st.text(alphabet="01", min_size=1, max_size=24)
+
+
+class TestStdLogicBasics:
+    def test_interning_returns_same_object(self):
+        assert StdLogic("1") is StdLogic("1")
+        assert StdLogic(ONE) is ONE
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(SimulationError):
+            StdLogic("q")
+
+    def test_equality_with_characters(self):
+        assert StdLogic("0") == "0"
+        assert StdLogic("0") != "1"
+
+    def test_meaning_strings(self):
+        assert StdLogic("U").meaning == "Uninitialized"
+        assert StdLogic("-").meaning == "Don't care"
+
+    def test_is_high_and_low_cover_weak_values(self):
+        assert ONE.is_high() and H.is_high()
+        assert ZERO.is_low() and L.is_low()
+        assert not X.is_high() and not X.is_low()
+
+    def test_to_bit(self):
+        assert ONE.to_bit() == 1
+        assert L.to_bit() == 0
+        with pytest.raises(SimulationError):
+            Z.to_bit()
+
+    def test_from_bit(self):
+        assert StdLogic.from_bit(1) is ONE
+        assert StdLogic.from_bit(0) is ZERO
+
+    def test_to_x01(self):
+        assert H.to_x01() is ONE
+        assert L.to_x01() is ZERO
+        assert Z.to_x01() is X
+        assert U.to_x01() is X
+
+
+class TestLogicOperators:
+    def test_and_truth_table_corners(self):
+        assert (ONE & ONE) is ONE
+        assert (ONE & ZERO) is ZERO
+        assert (ZERO & X) is ZERO   # 0 dominates and
+        assert (ONE & X) is X
+        assert (U & ZERO) is ZERO
+
+    def test_or_truth_table_corners(self):
+        assert (ZERO | ZERO) is ZERO
+        assert (ONE | X) is ONE     # 1 dominates or
+        assert (ZERO | X) is X
+        assert (U | ONE) is ONE
+
+    def test_xor_truth_table_corners(self):
+        assert (ONE ^ ZERO) is ONE
+        assert (ONE ^ ONE) is ZERO
+        assert (ONE ^ X) is X
+
+    def test_not(self):
+        assert ~ONE is ZERO
+        assert ~ZERO is ONE
+        assert ~H is ZERO
+        assert ~L is ONE
+        assert ~Z is X
+
+    def test_derived_gates(self):
+        assert ONE.nand(ONE) is ZERO
+        assert ZERO.nor(ZERO) is ONE
+        assert ONE.xnor(ONE) is ONE
+
+    @given(logic_values, logic_values)
+    def test_and_or_commutative(self, a, b):
+        assert (a & b) is (b & a)
+        assert (a | b) is (b | a)
+        assert (a ^ b) is (b ^ a)
+
+    @given(logic_values)
+    def test_weak_values_behave_like_strong_in_gates(self, a):
+        assert (a & H) is (a & ONE)
+        assert (a & L) is (a & ZERO)
+        assert (a | H) is (a | ONE)
+        assert (a | L) is (a | ZERO)
+
+
+class TestResolution:
+    def test_strong_beats_weak(self):
+        assert StdLogic.resolve_pair(ZERO, H) is ZERO
+        assert StdLogic.resolve_pair(ONE, L) is ONE
+
+    def test_conflicting_strong_drivers_are_unknown(self):
+        assert StdLogic.resolve_pair(ZERO, ONE) is X
+
+    def test_high_impedance_is_identity(self):
+        for char in STD_LOGIC_CHARS:
+            value = StdLogic(char)
+            if value is U:
+                continue
+            assert StdLogic.resolve_pair(value, Z) is value or value is DONT_CARE
+
+    def test_uninitialized_dominates(self):
+        for char in STD_LOGIC_CHARS:
+            assert StdLogic.resolve_pair(U, StdLogic(char)) is U
+
+    def test_resolve_empty_is_high_impedance(self):
+        assert StdLogic.resolve([]) is Z
+
+    def test_resolve_single_driver(self):
+        assert StdLogic.resolve([ONE]) is ONE
+
+    @given(logic_values, logic_values)
+    def test_resolution_commutative(self, a, b):
+        assert StdLogic.resolve_pair(a, b) is StdLogic.resolve_pair(b, a)
+
+    @given(logic_values, logic_values, logic_values)
+    def test_resolution_associative(self, a, b, c):
+        left = StdLogic.resolve_pair(StdLogic.resolve_pair(a, b), c)
+        right = StdLogic.resolve_pair(a, StdLogic.resolve_pair(b, c))
+        assert left is right
+
+    @given(logic_values)
+    def test_resolution_idempotent_except_dont_care(self, a):
+        # IEEE 1164 resolves '-' against '-' to 'X'; every other value is
+        # idempotent under resolution.
+        if a is DONT_CARE:
+            assert StdLogic.resolve_pair(a, a) is X
+        else:
+            assert StdLogic.resolve_pair(a, a) is a
+
+
+class TestStdLogicVector:
+    def test_from_string_and_back(self):
+        vector = StdLogicVector.from_string("10ZX")
+        assert vector.to_string() == "10ZX"
+        assert vector.width == 4
+
+    def test_from_unsigned(self):
+        assert StdLogicVector.from_unsigned(10, 4).to_string() == "1010"
+        assert StdLogicVector.from_unsigned(0, 3).to_string() == "000"
+
+    def test_from_unsigned_truncates_modulo_width(self):
+        assert StdLogicVector.from_unsigned(17, 4).to_unsigned() == 1
+
+    def test_from_unsigned_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            StdLogicVector.from_unsigned(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_unsigned_roundtrip(self, value):
+        assert StdLogicVector.from_unsigned(value, 16).to_unsigned() == value
+
+    def test_uninitialized(self):
+        assert StdLogicVector.uninitialized(3).to_string() == "UUU"
+
+    def test_equality_with_strings(self):
+        assert StdLogicVector.from_string("01") == "01"
+
+    def test_bitwise_operators(self):
+        a = StdLogicVector.from_string("1100")
+        b = StdLogicVector.from_string("1010")
+        assert (a & b).to_string() == "1000"
+        assert (a | b).to_string() == "1110"
+        assert (a ^ b).to_string() == "0110"
+        assert (~a).to_string() == "0011"
+
+    def test_bitwise_width_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            StdLogicVector.from_string("11") & StdLogicVector.from_string("1")
+
+    @given(bit_strings, bit_strings)
+    def test_xor_self_inverse(self, left, right):
+        width = min(len(left), len(right))
+        a = StdLogicVector.from_string(left[:width])
+        b = StdLogicVector.from_string(right[:width])
+        assert ((a ^ b) ^ b) == a
+
+    def test_slice_downto(self):
+        vector = StdLogicVector.from_string("10110001")
+        assert vector.slice_downto(7, 4).to_string() == "1011"
+        assert vector.slice_downto(3, 0).to_string() == "0001"
+        assert vector.slice_downto(4, 4).to_string() == "1"
+
+    def test_slice_downto_rejects_bad_bounds(self):
+        vector = StdLogicVector.from_string("1011")
+        with pytest.raises(SimulationError):
+            vector.slice_downto(0, 3)
+        with pytest.raises(SimulationError):
+            vector.slice_downto(9, 0)
+
+    def test_set_slice_downto(self):
+        vector = StdLogicVector.from_string("00000000")
+        updated = vector.set_slice_downto(7, 4, StdLogicVector.from_string("1111"))
+        assert updated.to_string() == "11110000"
+        assert vector.to_string() == "00000000"  # immutability
+
+    def test_set_slice_width_mismatch(self):
+        vector = StdLogicVector.from_string("0000")
+        with pytest.raises(SimulationError):
+            vector.set_slice_downto(3, 2, StdLogicVector.from_string("111"))
+
+    def test_element_downto(self):
+        vector = StdLogicVector.from_string("1000")
+        assert vector.element_downto(3) is ONE
+        assert vector.element_downto(0) is ZERO
+
+    def test_concat(self):
+        left = StdLogicVector.from_string("10")
+        right = StdLogicVector.from_string("01")
+        assert left.concat(right).to_string() == "1001"
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add_matches_modular_arithmetic(self, a, b):
+        va = StdLogicVector.from_unsigned(a, 8)
+        vb = StdLogicVector.from_unsigned(b, 8)
+        assert va.add(vb).to_unsigned() == (a + b) % 256
+        assert va.sub(vb).to_unsigned() == (a - b) % 256
+
+    def test_arithmetic_with_unknown_bits_gives_x(self):
+        a = StdLogicVector.from_string("1X00")
+        b = StdLogicVector.from_string("0001")
+        assert a.add(b).to_string() == "XXXX"
+
+    def test_shifts_and_rotates(self):
+        vector = StdLogicVector.from_string("1001")
+        assert vector.shift_left(1).to_string() == "0010"
+        assert vector.shift_right(1).to_string() == "0100"
+        assert vector.rotate_left(1).to_string() == "0011"
+        assert vector.rotate_right(1).to_string() == "1100"
+
+    @given(bit_strings, st.integers(0, 40))
+    def test_rotate_roundtrip(self, bits, amount):
+        vector = StdLogicVector.from_string(bits)
+        assert vector.rotate_left(amount).rotate_right(amount) == vector
+
+    def test_comparisons(self):
+        small = StdLogicVector.from_unsigned(3, 4)
+        large = StdLogicVector.from_unsigned(9, 4)
+        assert small.less_than(large) is ONE
+        assert large.less_than(small) is ZERO
+        assert small.equals(small) is ONE
+        assert small.equals(large) is ZERO
+
+    def test_comparison_with_unknown_is_x(self):
+        a = StdLogicVector.from_string("1X")
+        b = StdLogicVector.from_string("10")
+        assert a.equals(b) is X
+        assert a.less_than(b) is X
+
+
+class TestResolveValues:
+    def test_scalar_drivers(self):
+        assert resolve_values([ZERO, Z, L]) is ZERO
+
+    def test_vector_drivers_resolved_elementwise(self):
+        a = StdLogicVector.from_string("1Z")
+        b = StdLogicVector.from_string("Z0")
+        assert resolve_values([a, b]).to_string() == "10"
+
+    def test_empty_driver_set_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_values([])
+
+    def test_mixed_scalar_vector_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_values([ONE, StdLogicVector.from_string("1")])
+
+    def test_mismatched_vector_widths_rejected(self):
+        with pytest.raises(SimulationError):
+            resolve_values(
+                [StdLogicVector.from_string("1"), StdLogicVector.from_string("10")]
+            )
+
+    def test_value_to_string(self):
+        assert value_to_string(ONE) == "'1'"
+        assert value_to_string(StdLogicVector.from_string("10")) == '"10"'

@@ -1,0 +1,199 @@
+"""Tests for the static well-formedness checker."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.vhdl.elaborate import elaborate_source
+from repro.vhdl.typecheck import Severity, assert_well_typed, typecheck
+
+
+def diagnostics_for(source):
+    return typecheck(elaborate_source(source))
+
+
+def errors_for(source):
+    return [d for d in diagnostics_for(source) if d.severity is Severity.ERROR]
+
+
+def warnings_for(source):
+    return [d for d in diagnostics_for(source) if d.severity is Severity.WARNING]
+
+
+CLEAN = """
+entity clean is
+  port( a : in std_logic_vector(7 downto 0);
+        b : in std_logic_vector(7 downto 0);
+        y : out std_logic_vector(7 downto 0) );
+end clean;
+architecture arch of clean is
+begin
+  p : process
+    variable t : std_logic_vector(7 downto 0);
+  begin
+    t := a xor b;
+    y <= t(7 downto 4) & t(3 downto 0);
+    wait on a, b;
+  end process p;
+end arch;
+"""
+
+
+class TestCleanDesigns:
+    def test_no_diagnostics(self):
+        assert diagnostics_for(CLEAN) == []
+
+    def test_assert_well_typed_passes(self):
+        assert_well_typed(elaborate_source(CLEAN))
+
+    def test_generated_aes_components_are_well_typed(self):
+        from repro.aes import generator
+
+        for source in (
+            generator.shift_rows_paper_source(),
+            generator.shift_rows_entity_source(),
+            generator.add_round_key_source(),
+            generator.mix_column_source(),
+            generator.sub_bytes_source(),
+            generator.key_schedule_step_source(),
+            generator.aes_round_source(),
+        ):
+            assert_well_typed(elaborate_source(source))
+
+
+class TestWidthErrors:
+    def test_assignment_width_mismatch(self):
+        source = """
+        entity e is port( a : in std_logic_vector(7 downto 0) ); end e;
+        architecture arch of e is
+        begin
+          p : process
+            variable t : std_logic_vector(3 downto 0);
+          begin
+            t := a;
+            wait on a;
+          end process p;
+        end arch;
+        """
+        messages = [d.message for d in errors_for(source)]
+        assert any("width" in m for m in messages)
+
+    def test_operator_width_mismatch(self):
+        source = """
+        entity e is port( a : in std_logic_vector(7 downto 0);
+                          b : in std_logic_vector(3 downto 0);
+                          y : out std_logic_vector(7 downto 0) ); end e;
+        architecture arch of e is
+        begin
+          p : process begin y <= a xor b; wait on a, b; end process p;
+        end arch;
+        """
+        assert errors_for(source)
+
+    def test_slice_out_of_range(self):
+        source = """
+        entity e is port( a : in std_logic_vector(3 downto 0); y : out std_logic ); end e;
+        architecture arch of e is
+        begin
+          p : process begin y <= a(7); wait on a; end process p;
+        end arch;
+        """
+        messages = [d.message for d in errors_for(source)]
+        assert any("exceeds" in m for m in messages)
+
+    def test_slice_of_scalar(self):
+        source = """
+        entity e is port( a : in std_logic; y : out std_logic ); end e;
+        architecture arch of e is
+        begin
+          p : process begin y <= a(0); wait on a; end process p;
+        end arch;
+        """
+        messages = [d.message for d in errors_for(source)]
+        assert any("scalar" in m for m in messages)
+
+    def test_assert_well_typed_raises(self):
+        source = """
+        entity e is port( a : in std_logic_vector(7 downto 0) ); end e;
+        architecture arch of e is
+        begin
+          p : process
+            variable t : std_logic_vector(3 downto 0);
+          begin
+            t := a;
+            wait on a;
+          end process p;
+        end arch;
+        """
+        with pytest.raises(TypeCheckError):
+            assert_well_typed(elaborate_source(source))
+
+
+class TestWarnings:
+    def test_unread_variable_warning(self):
+        source = """
+        entity e is port( a : in std_logic ); end e;
+        architecture arch of e is
+        begin
+          p : process
+            variable unused : std_logic;
+          begin
+            unused := a;
+            wait on a;
+          end process p;
+        end arch;
+        """
+        messages = [d.message for d in warnings_for(source)]
+        assert any("never read" in m for m in messages)
+
+    def test_reading_output_port_warning(self):
+        source = """
+        entity e is port( a : in std_logic; y : out std_logic ); end e;
+        architecture arch of e is
+        begin
+          p : process
+            variable t : std_logic;
+          begin
+            t := y;
+            y <= a;
+            wait on a;
+          end process p;
+        end arch;
+        """
+        messages = [d.message for d in warnings_for(source)]
+        assert any("output port" in m for m in messages)
+
+    def test_vector_condition_warning(self):
+        source = """
+        entity e is port( a : in std_logic_vector(3 downto 0); y : out std_logic ); end e;
+        architecture arch of e is
+        begin
+          p : process
+          begin
+            if a then
+              y <= '1';
+            else
+              y <= '0';
+            end if;
+            wait on a;
+          end process p;
+        end arch;
+        """
+        messages = [d.message for d in warnings_for(source)]
+        assert any("condition" in m for m in messages)
+
+    def test_diagnostic_string_mentions_process(self):
+        source = """
+        entity e is port( a : in std_logic ); end e;
+        architecture arch of e is
+        begin
+          p : process
+            variable unused : std_logic;
+          begin
+            unused := a;
+            wait on a;
+          end process p;
+        end arch;
+        """
+        rendered = str(warnings_for(source)[0])
+        assert "process p" in rendered
+        assert rendered.startswith("warning")
