@@ -1,0 +1,14 @@
+PYTHON ?= python
+
+.PHONY: test bench examples
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) benchmarks/run_benchmarks.py
+
+examples:
+	scratch=$$(mktemp -d); for script in $(CURDIR)/examples/*.py; do \
+		(cd $$scratch && PYTHONPATH=$(CURDIR)/src $(PYTHON) $$script > /dev/null) || exit 1; \
+	done; rm -rf $$scratch

@@ -8,7 +8,12 @@ to cubic because the analysis decomposes into "three bit-vector frameworks
 These benchmarks time (i) the bit-vector Reaching Definitions phases and
 (ii) the closure phase separately on a synthetic program family of growing
 size, so the report exposes the near-linear growth of the former and the
-super-linear growth of the latter.
+super-linear growth of the latter.  Since the interned-bitset engine landed
+(``dataflow.worklist.solve`` on int bitsets, SCC-condensed column propagation
+in ``analysis.closure.propagate``) the family extends to the 8×64 and 16×64
+chains; ``benchmarks/run_benchmarks.py`` snapshots the timings into
+``BENCH_scaling.json`` at the repo root so future changes have a perf
+trajectory to compare against.
 """
 
 import pytest
@@ -24,7 +29,10 @@ from repro.vhdl.elaborate import elaborate_source
 from repro.workloads import synthetic_chain_program
 
 #: (processes, assignments per process) — program size grows left to right.
-SIZES = [(2, 4), (2, 16), (4, 16), (4, 32), (8, 32)]
+#: The 8×64 chain is the headline workload of the bitset-engine optimisation;
+#: 16×64 is ~4× its flow-graph size and was out of reach for the frozenset
+#: implementation.
+SIZES = [(2, 4), (2, 16), (4, 16), (4, 32), (8, 32), (8, 64), (16, 64)]
 
 
 def _design(processes, assignments):

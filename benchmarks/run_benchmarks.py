@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Run the scaling benchmark suite and snapshot a machine-readable summary.
+
+The runner executes ``benchmarks/bench_scaling.py`` under pytest-benchmark and
+distills the raw report into ``BENCH_scaling.json`` at the repository root:
+one record per benchmark with its parameters, the reproduction facts the
+benchmark asserted (``extra_info``) and the timing statistics.  The file is
+committed, so every PR leaves a perf trajectory the next one can compare
+against.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py                 # writes BENCH_scaling.json
+    python benchmarks/run_benchmarks.py --output out.json --min-rounds 3
+    make bench                                          # the same, via the Makefile
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BENCH_FILE = Path(__file__).resolve().parent / "bench_scaling.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scaling.json"
+
+
+def run_pytest_benchmark(bench_file: Path, raw_json: Path, min_rounds: int) -> None:
+    """Run one benchmark file under pytest-benchmark, writing its raw report."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(bench_file),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-min-rounds={min_rounds}",
+        f"--benchmark-json={raw_json}",
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if completed.returncode != 0:
+        raise SystemExit(completed.returncode)
+
+
+def distill(raw_report: dict) -> dict:
+    """Reduce pytest-benchmark's raw report to the stable, comparable core."""
+    records = []
+    for bench in raw_report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        records.append(
+            {
+                "name": bench.get("name"),
+                "group": bench.get("group"),
+                "params": bench.get("params"),
+                "extra_info": bench.get("extra_info", {}),
+                "stats": {
+                    key: stats.get(key)
+                    for key in ("min", "max", "mean", "median", "stddev", "rounds")
+                },
+            }
+        )
+    records.sort(key=lambda record: record["name"] or "")
+    machine = raw_report.get("machine_info", {})
+    return {
+        "datetime": raw_report.get("datetime"),
+        "python": machine.get("python_version"),
+        "machine": {
+            key: machine.get(key) for key in ("system", "machine", "cpu", "node")
+        },
+        "benchmarks": records,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-file",
+        type=Path,
+        default=DEFAULT_BENCH_FILE,
+        help="benchmark file to run (default: bench_scaling.py)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the distilled summary (default: BENCH_scaling.json)",
+    )
+    parser.add_argument(
+        "--min-rounds",
+        type=int,
+        default=5,
+        help="minimum pytest-benchmark rounds per benchmark",
+    )
+    args = parser.parse_args(argv)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "raw_benchmark.json"
+        run_pytest_benchmark(args.bench_file, raw_json, args.min_rounds)
+        raw_report = json.loads(raw_json.read_text())
+
+    summary = distill(raw_report)
+    args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output} ({len(summary['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

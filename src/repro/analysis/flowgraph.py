@@ -14,6 +14,7 @@ projection onto a node subset, DOT export and structural comparison.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
@@ -23,7 +24,9 @@ from repro.analysis.resource_matrix import (
     base_resource,
     is_incoming,
     is_outgoing,
+    name_universe,
 )
+from repro.dataflow.universe import FactUniverse
 
 Edge = Tuple[str, str]
 
@@ -44,20 +47,39 @@ class FlowGraph:
         """Build the flow graph of a (local or global) Resource Matrix.
 
         For every label ``l`` with a modification entry ``(m, l, M*)`` and a
-        read entry ``(r, l, R*)``, the edge ``r → m`` is added.
+        read entry ``(r, l, R*)``, the edge ``r → m`` is added.  The matrix is
+        consumed in its columnar form: each label contributes one read bitset
+        and one modification bitset, decoded once per distinct bitset.
         """
         graph = cls()
-        for entry in matrix:
-            graph.nodes.add(entry.name)
-        by_label = matrix.index_by_label()
-        for entries in by_label.values():
-            reads = [e.name for e in entries if e.access.is_read]
-            mods = [e.name for e in entries if e.access.is_modify]
-            for modified in mods:
-                for read in reads:
-                    if not include_self_loops and read == modified:
-                        continue
-                    graph.edges.add((read, modified))
+        universe = name_universe()
+        decoded: Dict[int, List[str]] = {}
+
+        def names_of(bits: int) -> List[str]:
+            names = decoded.get(bits)
+            if names is None:
+                names = decoded[bits] = universe.decode_list(bits)
+            return names
+
+        all_bits = 0
+        edges = graph.edges
+        for _, row in matrix.iter_rows():
+            mods_bits = row[0] | row[1]
+            reads_bits = row[2] | row[3]
+            all_bits |= mods_bits | reads_bits
+            if not mods_bits or not reads_bits:
+                continue
+            reads = names_of(reads_bits)
+            mods = names_of(mods_bits)
+            if include_self_loops:
+                edges.update(itertools.product(reads, mods))
+            else:
+                edges.update(
+                    (read, modified)
+                    for read, modified in itertools.product(reads, mods)
+                    if read != modified
+                )
+        graph.nodes.update(names_of(all_bits))
         return graph
 
     @classmethod
@@ -104,6 +126,57 @@ class FlowGraph:
 
     # -- reachability and closure --------------------------------------------------
 
+    def _successor_bits(self) -> Tuple["FactUniverse", Dict[int, int]]:
+        """Node universe plus per-node direct-successor bitsets."""
+        universe = FactUniverse(sorted(self.nodes))
+        successors: Dict[int, int] = {}
+        intern = universe.intern
+        for src, dst in self.edges:
+            src_index = intern(src)
+            successors[src_index] = successors.get(src_index, 0) | (
+                1 << intern(dst)
+            )
+        return universe, successors
+
+    def _reach_bits(self) -> Tuple["FactUniverse", Dict[int, int]]:
+        """Per-node bitsets of everything reachable along one or more edges.
+
+        Computed over the SCC condensation (iterative Tarjan, shared with the
+        Resource Matrix closure), ORing whole bitsets along the component DAG
+        — the bitset form of the paper's "cubic time reachability analysis".
+        """
+        from repro.analysis.closure import _strongly_connected_components
+
+        universe, successors = self._successor_bits()
+        indexed_edges: Dict[int, Tuple[int, ...]] = {}
+        for index, bits in successors.items():
+            targets = []
+            while bits:
+                low = bits & -bits
+                targets.append(low.bit_length() - 1)
+                bits ^= low
+            indexed_edges[index] = tuple(targets)
+        comp_of, components = _strongly_connected_components(
+            range(len(universe)), indexed_edges
+        )
+        comp_reach: List[int] = [0] * len(components)
+        # Tarjan emits every component after all components reachable from it,
+        # so one pass in emission order sees successors already finished.
+        for comp, members in enumerate(components):
+            bits = 0
+            for member in members:
+                bits |= successors.get(member, 0)
+            for member in members:
+                for target in indexed_edges.get(member, ()):
+                    target_comp = comp_of[target]
+                    if target_comp != comp:
+                        bits |= comp_reach[target_comp]
+            comp_reach[comp] = bits
+        reach = {
+            index: comp_reach[comp_of[index]] for index in range(len(universe))
+        }
+        return universe, reach
+
     def reachable_from(self, node: str, include_start: bool = False) -> FrozenSet[str]:
         """All nodes reachable from ``node`` along one or more edges."""
         adjacency: Dict[str, List[str]] = {}
@@ -128,9 +201,14 @@ class FlowGraph:
     def transitive_closure(self) -> "FlowGraph":
         """The transitive closure (the essence of Kemmerer's method)."""
         closure = self.copy()
-        for node in sorted(self.nodes):
-            for reached in self.reachable_from(node):
-                closure.edges.add((node, reached))
+        universe, reach = self._reach_bits()
+        edges = closure.edges
+        for index, bits in reach.items():
+            if bits:
+                node = universe.fact_of(index)
+                edges.update(
+                    (node, reached) for reached in universe.decode_list(bits)
+                )
         return closure
 
     def is_transitive(self) -> bool:
@@ -138,9 +216,16 @@ class FlowGraph:
 
         The paper stresses that the analysis result is *in general
         non-transitive*, which is precisely what distinguishes it from
-        Kemmerer's method.
+        Kemmerer's method.  Transitivity is checked edge-wise on bitsets:
+        ``(a, b) ∈ E`` requires ``succ(b) ⊆ succ(a)``.
         """
-        return self.edges == self.transitive_closure().edges
+        universe, successors = self._successor_bits()
+        index_of = universe.index_of
+        not_successors = {index: ~bits for index, bits in successors.items()}
+        for src, dst in self.edges:
+            if successors.get(index_of(dst), 0) & not_successors[index_of(src)]:
+                return False
+        return True
 
     # -- transformations -------------------------------------------------------------
 

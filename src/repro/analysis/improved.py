@@ -150,10 +150,13 @@ def improved_global_resource_matrix(
         outcoming_value_edges(program_cfg, specialized, outgoing_labels),
     )
 
-    seeds: List[Entry] = list(rm_lo)
-    seeds.extend(initial_value_seeds(specialized))
-    seeds.extend(incoming_value_seeds(program_cfg, specialized, design))
-    seeds.extend(outgoing_value_seeds(outgoing_labels))
+    seeds: ResourceMatrix = rm_lo.copy()
+    for entry in initial_value_seeds(specialized):
+        seeds.add_entry(entry)
+    for entry in incoming_value_seeds(program_cfg, specialized, design):
+        seeds.add_entry(entry)
+    for entry in outgoing_value_seeds(outgoing_labels):
+        seeds.add_entry(entry)
 
     rm_global = propagate(seeds, copy_edges)
     return ImprovedClosureResult(

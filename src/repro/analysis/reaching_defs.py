@@ -89,9 +89,9 @@ def killed_signals_at_wait(
         return frozenset()
     result: Set[str] = set(active[owner].must_be_active_at(wait_label))
     for name in others:
-        waits = program_cfg.processes[name].wait_labels
-        common: Set[str] = set(active[name].must_be_active_at(next(iter(waits))))
-        for other_wait in waits:
+        waits = sorted(program_cfg.processes[name].wait_labels)
+        common: Set[str] = set(active[name].must_be_active_at(waits[0]))
+        for other_wait in waits[1:]:
             common &= active[name].must_be_active_at(other_wait)
         result |= common
     return frozenset(result)

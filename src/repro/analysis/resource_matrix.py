@@ -10,6 +10,16 @@ manipulate sets ``RM ⊆ (Var ∪ Sig) × Lab × {M0, M1, R0, R1}``:
 * ``(n, l, R1)`` — the active value of ``n`` is read at ``l`` by the
   synchronisation performed by a ``wait`` statement.
 
+Storage is *label-columnar*: a matrix maps each label to four name-bitsets,
+one per access kind, with resource names interned once into a process-wide
+:class:`~repro.dataflow.universe.FactUniverse` shared by every matrix.  Adding
+an entry sets one bit; union of matrices is a per-label ``|``; the closure
+fixpoint propagates whole ``R0`` columns with single OR operations instead of
+hashing one :class:`Entry` object per (name, label) pair.  The
+:class:`Entry`-based view (iteration, ``entries()``, the ``*_at`` lookups) is
+decoded on demand at the boundary and yields entries in a canonical sorted
+order, so renderings and reports are byte-stable across runs.
+
 Resource names for the improved analysis (Table 9) use the suffixes ``◦`` and
 ``•`` for incoming and outgoing values; :func:`incoming_node` /
 :func:`outgoing_node` build these names uniformly.
@@ -19,7 +29,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dataflow.universe import FactUniverse
 
 
 class Access(Enum):
@@ -46,6 +58,53 @@ class Access(Enum):
     def is_modify(self) -> bool:
         """True for ``M0``/``M1``."""
         return self in (Access.M0, Access.M1)
+
+    @property
+    def column(self) -> int:
+        """The slot of this access kind in a matrix's per-label column list."""
+        return _COLUMN_OF[self]
+
+
+_COLUMN_OF: Dict[Access, int] = {
+    Access.M0: 0,
+    Access.M1: 1,
+    Access.R0: 2,
+    Access.R1: 3,
+}
+_ACCESS_ORDER: Tuple[Access, ...] = (Access.M0, Access.M1, Access.R0, Access.R1)
+_READ_COLUMNS = (Access.R0.column, Access.R1.column)
+_MODIFY_COLUMNS = (Access.M0.column, Access.M1.column)
+
+
+#: The process-wide name interner shared by every matrix, so bitsets from
+#: different matrices use the same bit positions and combine with plain ``|``
+#: — including matrices from *different* analysis runs (the equivalence tests
+#: compare those directly).  The universe is append-only: a very long-lived
+#: process analysing many unrelated designs pays for every name ever interned
+#: in the width of later bitsets.  If that ever matters, the fix is a
+#: per-session universe threaded through the pipeline, not a reset (resetting
+#: would silently invalidate every live matrix).
+_NAMES: FactUniverse = FactUniverse()
+
+
+def name_universe() -> FactUniverse:
+    """The shared resource-name universe (exposed for tests and diagnostics)."""
+    return _NAMES
+
+
+def decode_names(bits: int) -> FrozenSet[str]:
+    """The resource names of a name-bitset."""
+    return _NAMES.decode(bits)
+
+
+def sorted_names(bits: int) -> List[str]:
+    """The resource names of a name-bitset in lexical order."""
+    return sorted(_NAMES.decode_iter(bits))
+
+
+def encode_names(names: Iterable[str]) -> int:
+    """The name-bitset of ``names`` (interning any new ones)."""
+    return _NAMES.encode(names)
 
 
 INCOMING_SUFFIX = "○"  # ◦ (white circle)
@@ -92,117 +151,205 @@ class Entry:
 
 
 class ResourceMatrix:
-    """A mutable set of :class:`Entry` records with the lookups the rules need."""
+    """A label-columnar entry set with the lookups the closure rules need.
+
+    Each label row is a four-slot list of name-bitsets indexed by
+    :attr:`Access.column`; rows are created on first write and always hold at
+    least one set bit, so structural equality is plain dict comparison.
+    """
+
+    __slots__ = ("_cols",)
 
     def __init__(self, entries: Optional[Iterable[Entry]] = None):
-        self._entries: Set[Entry] = set(entries or ())
+        self._cols: Dict[int, List[int]] = {}
+        for entry in entries or ():
+            self.add_entry(entry)
 
     # -- basic protocol --------------------------------------------------------
 
     def __contains__(self, entry: Entry) -> bool:
-        return entry in self._entries
+        if entry.name not in _NAMES:
+            return False
+        row = self._cols.get(entry.label)
+        if row is None:
+            return False
+        return bool(row[entry.access.column] >> _NAMES.index_of(entry.name) & 1)
 
     def __iter__(self) -> Iterator[Entry]:
-        return iter(self._entries)
+        """Entries in canonical ``(label, access, name)`` order."""
+        for label in sorted(self._cols):
+            row = self._cols[label]
+            for access in _ACCESS_ORDER:
+                for name in sorted_names(row[access.column]):
+                    yield Entry(name, label, access)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(bits.bit_count() for row in self._cols.values() for bits in row)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ResourceMatrix):
-            return self._entries == other._entries
+            return self._cols == other._cols
         return NotImplemented
 
     def __repr__(self) -> str:
-        return f"ResourceMatrix({len(self._entries)} entries)"
+        return f"ResourceMatrix({len(self)} entries)"
 
     def copy(self) -> "ResourceMatrix":
-        """A shallow copy (entries are immutable)."""
-        return ResourceMatrix(self._entries)
+        """An independent copy (rows are duplicated, bitsets are immutable)."""
+        clone = ResourceMatrix()
+        clone._cols = {label: list(row) for label, row in self._cols.items()}
+        return clone
 
     def entries(self) -> FrozenSet[Entry]:
         """The entry set as a frozenset."""
-        return frozenset(self._entries)
+        return frozenset(self)
 
     # -- mutation ------------------------------------------------------------------
 
     def add(self, name: str, label: int, access: Access) -> bool:
         """Add an entry; returns True when it was not already present."""
-        entry = Entry(name, label, access)
-        if entry in self._entries:
+        bit = 1 << _NAMES.intern(name)
+        row = self._cols.get(label)
+        if row is None:
+            row = self._cols[label] = [0, 0, 0, 0]
+        column = access.column
+        if row[column] & bit:
             return False
-        self._entries.add(entry)
+        row[column] |= bit
         return True
 
     def add_entry(self, entry: Entry) -> bool:
         """Add a pre-built entry; returns True when it was not already present."""
-        if entry in self._entries:
-            return False
-        self._entries.add(entry)
-        return True
+        return self.add(entry.name, entry.label, entry.access)
 
     def update(self, other: "ResourceMatrix") -> None:
-        """In-place union with another matrix."""
-        self._entries |= other._entries
+        """In-place union with another matrix (per-label bitwise OR)."""
+        cols = self._cols
+        for label, other_row in other._cols.items():
+            row = cols.get(label)
+            if row is None:
+                cols[label] = list(other_row)
+            else:
+                row[0] |= other_row[0]
+                row[1] |= other_row[1]
+                row[2] |= other_row[2]
+                row[3] |= other_row[3]
 
     def union(self, other: "ResourceMatrix") -> "ResourceMatrix":
         """The union of two matrices as a new matrix."""
-        return ResourceMatrix(self._entries | other._entries)
+        result = self.copy()
+        result.update(other)
+        return result
+
+    # -- columnar accessors (the hot-path API) ---------------------------------
+
+    def bits_at(self, label: int, access: Access) -> int:
+        """The name-bitset stored at ``(label, access)``."""
+        row = self._cols.get(label)
+        return row[access.column] if row is not None else 0
+
+    def or_bits(self, label: int, access: Access, bits: int) -> bool:
+        """OR ``bits`` into ``(label, access)``; True when anything was new."""
+        if not bits:
+            return False
+        row = self._cols.get(label)
+        if row is None:
+            self._cols[label] = row = [0, 0, 0, 0]
+        column = access.column
+        if bits & ~row[column]:
+            row[column] |= bits
+            return True
+        return False
+
+    def column(self, access: Access) -> Dict[int, int]:
+        """The whole column ``label → name-bitset`` for one access kind."""
+        index = access.column
+        return {
+            label: row[index] for label, row in self._cols.items() if row[index]
+        }
+
+    def read_bits_at(self, label: int) -> int:
+        """``R0 | R1`` bits at ``label``."""
+        row = self._cols.get(label)
+        if row is None:
+            return 0
+        return row[_READ_COLUMNS[0]] | row[_READ_COLUMNS[1]]
+
+    def modify_bits_at(self, label: int) -> int:
+        """``M0 | M1`` bits at ``label``."""
+        row = self._cols.get(label)
+        if row is None:
+            return 0
+        return row[_MODIFY_COLUMNS[0]] | row[_MODIFY_COLUMNS[1]]
+
+    def iter_rows(self) -> Iterator[Tuple[int, List[int]]]:
+        """The raw ``(label, [M0, M1, R0, R1])`` rows (read-only use)."""
+        return iter(self._cols.items())
 
     # -- lookups used by the closure rules ----------------------------------------------
 
     def labels(self) -> FrozenSet[int]:
         """All labels mentioned by some entry."""
-        return frozenset(entry.label for entry in self._entries)
+        return frozenset(self._cols)
 
     def names(self) -> FrozenSet[str]:
         """All resource names mentioned by some entry."""
-        return frozenset(entry.name for entry in self._entries)
+        bits = 0
+        for row in self._cols.values():
+            bits |= row[0] | row[1] | row[2] | row[3]
+        return decode_names(bits)
+
+    def _entries_of_row(self, label: int, accesses: Iterable[Access]) -> List[Entry]:
+        row = self._cols.get(label)
+        if row is None:
+            return []
+        return [
+            Entry(name, label, access)
+            for access in accesses
+            for name in sorted_names(row[access.column])
+        ]
 
     def at_label(self, label: int) -> List[Entry]:
         """All entries at ``label``."""
-        return [entry for entry in self._entries if entry.label == label]
+        return self._entries_of_row(label, _ACCESS_ORDER)
 
     def reads_at(self, label: int) -> List[Entry]:
         """Read entries (``R0``/``R1``) at ``label``."""
-        return [
-            entry
-            for entry in self._entries
-            if entry.label == label and entry.access.is_read
-        ]
+        return self._entries_of_row(label, (Access.R0, Access.R1))
 
     def modifications_at(self, label: int) -> List[Entry]:
         """Modification entries (``M0``/``M1``) at ``label``."""
-        return [
-            entry
-            for entry in self._entries
-            if entry.label == label and entry.access.is_modify
-        ]
+        return self._entries_of_row(label, (Access.M0, Access.M1))
 
     def with_access(self, access: Access) -> List[Entry]:
         """All entries with the given access kind."""
-        return [entry for entry in self._entries if entry.access is access]
+        return [
+            Entry(name, label, access)
+            for label in sorted(self._cols)
+            for name in sorted_names(self._cols[label][access.column])
+        ]
 
     def reads_of(self, name: str, access: Access = Access.R0) -> List[Entry]:
         """All entries reading ``name`` with the given access kind."""
+        if name not in _NAMES:
+            return []
+        bit = 1 << _NAMES.index_of(name)
+        column = access.column
         return [
-            entry
-            for entry in self._entries
-            if entry.name == name and entry.access is access
+            Entry(name, label, access)
+            for label in sorted(self._cols)
+            if self._cols[label][column] & bit
         ]
 
     def index_by_label(self) -> Dict[int, List[Entry]]:
         """Entries grouped by label (used for efficient closure iteration)."""
-        grouped: Dict[int, List[Entry]] = {}
-        for entry in self._entries:
-            grouped.setdefault(entry.label, []).append(entry)
-        return grouped
+        return {label: self.at_label(label) for label in self._cols}
 
     # -- rendering -------------------------------------------------------------------
 
     def to_table(self) -> str:
         """Human-readable rendering, sorted by label then name."""
         lines = ["label  access  resource"]
-        for entry in sorted(self._entries, key=lambda e: (e.label, e.access.value, e.name)):
+        for entry in sorted(self, key=lambda e: (e.label, e.access.value, e.name)):
             lines.append(f"{entry.label:>5}  {entry.access.value:<6}  {entry.name}")
         return "\n".join(lines)

@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Set, Tuple
 from repro.analysis.local_deps import ResourceMatrix
 from repro.analysis.reaching_active import ActiveSignalsResult
 from repro.analysis.reaching_defs import ReachingDefinitionsResult
-from repro.analysis.resource_matrix import Access
+from repro.analysis.resource_matrix import Access, decode_names
 from repro.cfg.builder import ProgramCFG
 
 ResourceDef = Tuple[str, int]
@@ -52,27 +52,29 @@ def specialize(
     """Apply both rules of Table 7 and return ``RD†`` / ``RD†ϕ``."""
     result = SpecializedRD()
 
-    # [RD for active signals]
-    active_defs: Dict[int, Set[ResourceDef]] = {}
-    for entry in rm_lo.with_access(Access.R1):
-        wait_label = entry.label
+    # [RD for active signals] — one pass over RD∪ϕ_entry per wait label that
+    # carries R1 reads, filtering against the label's read-name set.
+    active_defs: Dict[int, FrozenSet[ResourceDef]] = {}
+    for wait_label, bits in sorted(rm_lo.column(Access.R1).items()):
         if not program_cfg.label_occurs_in_cross_flow(wait_label):
             continue
+        read_names = decode_names(bits)
         owner = program_cfg.process_of_label(wait_label)
         over_entry = active[owner].over_entry_of(wait_label)
-        used = {(s, l) for (s, l) in over_entry if s == entry.name}
+        used = frozenset((s, l) for (s, l) in over_entry if s in read_names)
         if used:
-            active_defs.setdefault(wait_label, set()).update(used)
-    result.active = {label: frozenset(defs) for label, defs in active_defs.items()}
+            active_defs[wait_label] = used
+    result.active = active_defs
 
-    # [RD for present signals and local variables]
-    present_defs: Dict[int, Set[ResourceDef]] = {}
-    for entry in rm_lo.with_access(Access.R0):
-        label = entry.label
+    # [RD for present signals and local variables] — likewise one pass over
+    # RDcf_entry per label with R0 reads.
+    present_defs: Dict[int, FrozenSet[ResourceDef]] = {}
+    for label, bits in sorted(rm_lo.column(Access.R0).items()):
+        read_names = decode_names(bits)
         rd_entry = reaching.entry_of(label)
-        used = {(n, l) for (n, l) in rd_entry if n == entry.name}
+        used = frozenset((n, l) for (n, l) in rd_entry if n in read_names)
         if used:
-            present_defs.setdefault(label, set()).update(used)
-    result.present = {label: frozenset(defs) for label, defs in present_defs.items()}
+            present_defs[label] = used
+    result.present = present_defs
 
     return result

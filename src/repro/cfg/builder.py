@@ -130,24 +130,26 @@ class ProcessCFG:
         """Labels reached by a flow edge from ``label``."""
         return [dst for (src, dst) in self.flow if src == label]
 
+    def _assignment_index(self, kind: BlockKind) -> Dict[str, FrozenSet[int]]:
+        """Target name → assignment labels for one block kind, built once."""
+        attr = "_assign_index_" + kind.name
+        cached = getattr(self, attr, None)
+        if cached is None:
+            collected: Dict[str, Set[int]] = {}
+            for label, block in self.blocks.items():
+                if block.kind is kind:
+                    collected.setdefault(block.statement.target, set()).add(label)
+            cached = {target: frozenset(labels) for target, labels in collected.items()}
+            object.__setattr__(self, attr, cached)
+        return cached
+
     def assignment_labels_of_signal(self, signal: str) -> FrozenSet[int]:
         """Labels of blocks in this process that assign to ``signal``."""
-        result = set()
-        for label, block in self.blocks.items():
-            if block.kind is BlockKind.SIGNAL_ASSIGN and block.statement.target == signal:
-                result.add(label)
-        return frozenset(result)
+        return self._assignment_index(BlockKind.SIGNAL_ASSIGN).get(signal, frozenset())
 
     def assignment_labels_of_variable(self, variable: str) -> FrozenSet[int]:
         """Labels of blocks in this process that assign to ``variable``."""
-        result = set()
-        for label, block in self.blocks.items():
-            if (
-                block.kind is BlockKind.VARIABLE_ASSIGN
-                and block.statement.target == variable
-            ):
-                result.add(label)
-        return frozenset(result)
+        return self._assignment_index(BlockKind.VARIABLE_ASSIGN).get(variable, frozenset())
 
 
 def build_process_cfg(

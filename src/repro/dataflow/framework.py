@@ -11,6 +11,16 @@ paper:
   ``INTERSECTION_DOTTED`` (the paper's ``⋂˙`` used by the under-approximation
   ``RD∩``, where a join over the empty set yields ``∅`` rather than the top
   element, guaranteeing ``RD∩ ⊆ RD∪`` in the least solution).
+
+The *description* is set-based — kill/gen/extremal values are frozensets of
+arbitrary hashable facts, which keeps the instance builders a literal
+transcription of the paper's tables.  The *solver*
+(:func:`repro.dataflow.worklist.solve`) does not iterate these sets: it
+interns every fact into a :class:`repro.dataflow.universe.FactUniverse` and
+runs the fixpoint on Python-int bitsets, where the transfer function is
+``(entry & ~kill) | gen`` and joins are ``|`` / ``&`` over machine words —
+the actual bit-vector framework the paper's complexity claim refers to.
+Frozensets only reappear at the boundary, when the solution is decoded.
 """
 
 from __future__ import annotations
@@ -58,9 +68,25 @@ class DataflowInstance(Generic[Fact]):
 
     # -- helpers used by the solver ------------------------------------------------
 
+    def predecessor_map(self) -> Dict[Label, Tuple[Label, ...]]:
+        """The full predecessor adjacency, built once and cached.
+
+        Use this (or :meth:`predecessors`) instead of scanning ``flow``:
+        building the map is O(|flow|) on first use and every later lookup is a
+        dict access.
+        """
+        cached = getattr(self, "_predecessor_map", None)
+        if cached is None:
+            collected: Dict[Label, list] = {}
+            for src, dst in self.flow:
+                collected.setdefault(dst, []).append(src)
+            cached = {dst: tuple(srcs) for dst, srcs in collected.items()}
+            object.__setattr__(self, "_predecessor_map", cached)
+        return cached
+
     def predecessors(self, label: Label) -> Tuple[Label, ...]:
-        """Labels with an edge into ``label`` (cached lazily by the solver)."""
-        return tuple(src for src, dst in self.flow if dst == label)
+        """Labels with an edge into ``label`` (one O(|flow|) pass, then cached)."""
+        return self.predecessor_map().get(label, ())
 
     def transfer(self, label: Label, entry: FrozenSet[Fact]) -> FrozenSet[Fact]:
         """``exit(l) = (entry(l) \\ kill(l)) ∪ gen(l)``."""

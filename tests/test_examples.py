@@ -1,5 +1,6 @@
 """The example scripts must stay runnable — they double as end-to-end tests."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,18 +8,36 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 
-@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
-def test_example_runs_cleanly(script, tmp_path):
-    completed = subprocess.run(
+def run_example(script, cwd=None):
+    """Run one example in a child interpreter that can import ``repro``.
+
+    The child may run with any working directory (the tests use a tmp dir so
+    DOT outputs don't litter the repo), so ``PYTHONPATH`` must carry the
+    *absolute* path of ``src`` — a relative entry would resolve against the
+    child's cwd and the import would fail.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else str(SRC_DIR) + os.pathsep + existing
+    )
+    return subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=300,
-        cwd=tmp_path,  # DOT outputs land in the script directory, not cwd
+        cwd=cwd,
+        env=env,
     )
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_cleanly(script, tmp_path):
+    completed = run_example(script, cwd=tmp_path)
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip()
 
@@ -29,39 +48,19 @@ def test_there_are_at_least_three_examples():
 
 class TestExampleContent:
     def test_quickstart_reports_dependencies(self, tmp_path):
-        completed = subprocess.run(
-            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-            capture_output=True,
-            text=True,
-            timeout=300,
-        )
+        completed = run_example(EXAMPLES_DIR / "quickstart.py", cwd=tmp_path)
         assert "result <- data, enable, mask" in completed.stdout
 
-    def test_shiftrows_audit_reports_the_precision_gap(self):
-        completed = subprocess.run(
-            [sys.executable, str(EXAMPLES_DIR / "aes_shiftrows_audit.py")],
-            capture_output=True,
-            text=True,
-            timeout=300,
-        )
+    def test_shiftrows_audit_reports_the_precision_gap(self, tmp_path):
+        completed = run_example(EXAMPLES_DIR / "aes_shiftrows_audit.py", cwd=tmp_path)
         assert "false positives eliminated by the analysis: 120" in completed.stdout
 
-    def test_covert_channel_check_distinguishes_the_variants(self):
-        completed = subprocess.run(
-            [sys.executable, str(EXAMPLES_DIR / "covert_channel_check.py")],
-            capture_output=True,
-            text=True,
-            timeout=300,
-        )
+    def test_covert_channel_check_distinguishes_the_variants(self, tmp_path):
+        completed = run_example(EXAMPLES_DIR / "covert_channel_check.py", cwd=tmp_path)
         assert "verdict: PERMISSIBLE" in completed.stdout
         assert "verdict: COVERT CHANNEL FOUND" in completed.stdout
 
-    def test_simulation_example_validates_against_reference(self):
-        completed = subprocess.run(
-            [sys.executable, str(EXAMPLES_DIR / "simulate_aes_round.py")],
-            capture_output=True,
-            text=True,
-            timeout=300,
-        )
+    def test_simulation_example_validates_against_reference(self, tmp_path):
+        completed = run_example(EXAMPLES_DIR / "simulate_aes_round.py", cwd=tmp_path)
         assert "MISMATCH" not in completed.stdout
         assert completed.stdout.count("OK") >= 4
