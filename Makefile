@@ -1,12 +1,19 @@
 PYTHON ?= python
 
-.PHONY: test bench examples
+.PHONY: test bench check examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+# Tier-1 tests plus the perf regression gate: fails when any benchmark
+# recorded in the committed BENCH_scaling.json snapshot slowed down >1.5x.
+# Same round count as `make bench` so min-of-rounds is comparable.
+check:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(PYTHON) benchmarks/run_benchmarks.py --compare BENCH_scaling.json
 
 examples:
 	scratch=$$(mktemp -d); for script in $(CURDIR)/examples/*.py; do \

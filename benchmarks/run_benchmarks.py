@@ -13,6 +13,12 @@ Usage::
     python benchmarks/run_benchmarks.py                 # writes BENCH_scaling.json
     python benchmarks/run_benchmarks.py --output out.json --min-rounds 3
     make bench                                          # the same, via the Makefile
+
+With ``--compare SNAPSHOT`` the runner acts as a regression gate instead: it
+re-runs the suite, does **not** overwrite the snapshot, and exits non-zero
+when any benchmark recorded in the snapshot got slower than ``--max-ratio``
+(default 1.5×, on the best-of-rounds ``min`` time, the most noise-robust
+statistic).  ``make check`` wires this behind the test suite.
 """
 
 from __future__ import annotations
@@ -80,6 +86,38 @@ def distill(raw_report: dict) -> dict:
     }
 
 
+def compare_against_snapshot(
+    snapshot: dict, current: dict, max_ratio: float
+) -> int:
+    """Report per-benchmark slowdown vs. a snapshot; return the regression count.
+
+    Compares the best-of-rounds ``min`` time of every benchmark present in
+    both reports.  Benchmarks only present on one side are listed but never
+    fail the gate (new benchmarks appear, retired ones disappear).
+    """
+    baseline = {
+        record["name"]: record for record in snapshot.get("benchmarks", [])
+    }
+    regressions = 0
+    print(f"{'benchmark':<42} {'snapshot':>10} {'current':>10} {'ratio':>7}")
+    for record in current.get("benchmarks", []):
+        name = record["name"]
+        reference = baseline.pop(name, None)
+        if reference is None:
+            print(f"{name:<42} {'-':>10} (new benchmark, not gated)")
+            continue
+        old = reference["stats"]["min"]
+        new = record["stats"]["min"]
+        ratio = new / old if old else float("inf")
+        verdict = "  REGRESSION" if ratio > max_ratio else ""
+        if ratio > max_ratio:
+            regressions += 1
+        print(f"{name:<42} {old:>9.4f}s {new:>9.4f}s {ratio:>6.2f}x{verdict}")
+    for name in sorted(baseline):
+        print(f"{name:<42} (missing from this run, not gated)")
+    return regressions
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,8 +138,33 @@ def main(argv=None) -> int:
         default=5,
         help="minimum pytest-benchmark rounds per benchmark",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        help=(
+            "regression-gate mode: compare against this committed snapshot "
+            "instead of overwriting it; exit 1 on any recorded benchmark "
+            "slower than --max-ratio"
+        ),
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.5,
+        help="maximum tolerated min-time slowdown in --compare mode (default 1.5)",
+    )
     args = parser.parse_args(argv)
-    args.output.parent.mkdir(parents=True, exist_ok=True)
+
+    # Fail fast on a missing/corrupt snapshot before spending minutes
+    # benchmarking.
+    snapshot = None
+    if args.compare is not None:
+        try:
+            snapshot = json.loads(args.compare.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read snapshot {args.compare}: {error}")
+            return 2
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_json = Path(tmp) / "raw_benchmark.json"
@@ -109,6 +172,21 @@ def main(argv=None) -> int:
         raw_report = json.loads(raw_json.read_text())
 
     summary = distill(raw_report)
+
+    if snapshot is not None:
+        regressions = compare_against_snapshot(
+            snapshot, summary, args.max_ratio
+        )
+        if regressions:
+            print(
+                f"{regressions} benchmark(s) regressed by more than "
+                f"{args.max_ratio}x vs {args.compare}"
+            )
+            return 1
+        print(f"no phase regressed by more than {args.max_ratio}x vs {args.compare}")
+        return 0
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output} ({len(summary['benchmarks'])} benchmarks)")
     return 0

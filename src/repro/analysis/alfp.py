@@ -27,6 +27,7 @@ from repro.analysis.resource_matrix import (
     outgoing_node,
 )
 from repro.cfg.builder import ProgramCFG
+from repro.dataflow.universe import FactUniverse
 from repro.solver.clauses import Rule
 from repro.solver.engine import Database, SolverEngine
 from repro.solver.terms import Atom, Constant
@@ -211,9 +212,16 @@ def encode(
     return engine
 
 
-def resource_matrix_from_database(database: Database) -> ResourceMatrix:
-    """Read the ``rm_gl`` relation of the least model back into a matrix."""
-    matrix = ResourceMatrix()
+def resource_matrix_from_database(
+    database: Database, universe: Optional[FactUniverse] = None
+) -> ResourceMatrix:
+    """Read the ``rm_gl`` relation of the least model back into a matrix.
+
+    ``universe`` optionally names the session universe the matrix should
+    intern into (so it compares bitset-to-bitset with the direct pipeline's
+    result); by default it gets a private fresh one.
+    """
+    matrix = ResourceMatrix(universe=universe)
     for name, label, access in database.relation(RM_GL):
         matrix.add(name, label, Access(access))
     return matrix
@@ -230,4 +238,4 @@ def closure_via_solver(
     """Solve the clause system and return the global Resource Matrix."""
     engine = encode(program_cfg, rm_lo, active, reaching, design, improved)
     database = engine.solve()
-    return resource_matrix_from_database(database)
+    return resource_matrix_from_database(database, universe=rm_lo.universe)

@@ -17,6 +17,13 @@ A full analysis run performs, in order:
 does the same for an already elaborated design; :func:`analyze_kemmerer` runs
 the baseline.  All intermediate artefacts are exposed on the returned
 :class:`AnalysisResult` so examples, benchmarks and tests can inspect them.
+
+Every run threads one per-session :class:`FactUniverse` of resource names
+through the pipeline (local matrix → specialisation → closure → flow graph);
+independent calls get independent universes, so a server or batch deployment
+analysing many unrelated designs neither shares nor leaks interned names
+between runs.  Pass ``universe`` explicitly to pool several runs in one
+session (their matrices then compare and combine at the bitset level).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.analysis.reaching_defs import (
 from repro.analysis.resource_matrix import ResourceMatrix
 from repro.analysis.specialize import SpecializedRD, specialize
 from repro.cfg.builder import ProgramCFG, build_cfg
+from repro.dataflow.universe import FactUniverse
 from repro.vhdl.elaborate import Design, elaborate
 from repro.vhdl.parser import parse_program
 
@@ -55,6 +63,8 @@ class AnalysisResult:
     graph: FlowGraph
     improved: bool
     outgoing_labels: Dict[str, int] = field(default_factory=dict)
+    universe: Optional[FactUniverse] = None
+    """The per-session resource-name universe this run interned into."""
 
     @property
     def flow_graph(self) -> FlowGraph:
@@ -84,6 +94,7 @@ def analyze_design(
     improved: bool = True,
     loop_processes: bool = True,
     use_under_approximation: bool = True,
+    universe: Optional[FactUniverse] = None,
 ) -> AnalysisResult:
     """Run the full Information Flow analysis on an elaborated design.
 
@@ -92,14 +103,17 @@ def analyze_design(
     (the paper's presentation of its sequential example programs);
     ``use_under_approximation=False`` ablates the ``RD∩ϕ``-driven kill at
     synchronisation points (Section 4.2), for measuring how much precision the
-    under-approximation contributes.
+    under-approximation contributes.  ``universe`` optionally supplies the
+    session's resource-name universe; by default every call gets a fresh one.
     """
+    if universe is None:
+        universe = FactUniverse()
     program_cfg = build_cfg(design, loop_processes=loop_processes)
     active = analyze_all_active_signals(program_cfg.processes)
     reaching = analyze_reaching_definitions(
         program_cfg, active, use_under_approximation=use_under_approximation
     )
-    rm_local = local_resource_matrix(program_cfg)
+    rm_local = local_resource_matrix(program_cfg, universe=universe)
     specialized = specialize(program_cfg, rm_local, active, reaching)
 
     outgoing_labels: Dict[str, int] = {}
@@ -123,6 +137,7 @@ def analyze_design(
         graph=graph,
         improved=improved,
         outgoing_labels=outgoing_labels,
+        universe=universe,
     )
 
 
@@ -132,6 +147,7 @@ def analyze(
     improved: bool = True,
     loop_processes: bool = True,
     use_under_approximation: bool = True,
+    universe: Optional[FactUniverse] = None,
 ) -> AnalysisResult:
     """Parse, elaborate and analyse VHDL1 source text."""
     design = elaborate(parse_program(source), entity_name)
@@ -140,20 +156,28 @@ def analyze(
         improved=improved,
         loop_processes=loop_processes,
         use_under_approximation=use_under_approximation,
+        universe=universe,
     )
 
 
 def analyze_kemmerer_design(
-    design: Design, loop_processes: bool = True
+    design: Design,
+    loop_processes: bool = True,
+    universe: Optional[FactUniverse] = None,
 ) -> KemmererResult:
     """Run Kemmerer's baseline on an elaborated design."""
     program_cfg = build_cfg(design, loop_processes=loop_processes)
-    return kemmerer_analysis(program_cfg)
+    return kemmerer_analysis(program_cfg, universe=universe)
 
 
 def analyze_kemmerer(
-    source: str, entity_name: Optional[str] = None, loop_processes: bool = True
+    source: str,
+    entity_name: Optional[str] = None,
+    loop_processes: bool = True,
+    universe: Optional[FactUniverse] = None,
 ) -> KemmererResult:
     """Parse, elaborate and run Kemmerer's baseline on VHDL1 source text."""
     design = elaborate(parse_program(source), entity_name)
-    return analyze_kemmerer_design(design, loop_processes=loop_processes)
+    return analyze_kemmerer_design(
+        design, loop_processes=loop_processes, universe=universe
+    )

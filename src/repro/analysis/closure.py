@@ -188,6 +188,8 @@ def propagate(seeds: Seeds, copy_edges: CopyEdges) -> ResourceMatrix:
     it in the copy-edge graph (including itself); it is computed by one
     topological sweep over the SCC condensation, ORing whole columns.
     """
+    # Matrix seeds keep their (per-session) name universe via copy(); loose
+    # entry seeds are interned into a private fresh one.
     matrix = _as_matrix(seeds)
     if not copy_edges:
         return matrix
@@ -232,7 +234,10 @@ def propagate_naive(seeds: Seeds, copy_edges: CopyEdges) -> ResourceMatrix:
 
     Kept as the cross-check oracle for :func:`propagate`: every ``R0`` entry
     ``(n, l, R0)`` with a copy edge ``l → l*`` spawns ``(n, l*, R0)``,
-    transitively, one deque item per (name, label) pair.
+    transitively, one deque item per (name, label) pair.  The result interns
+    into a private universe — deliberately independent of the seeds' session —
+    relying on the name-based cross-universe equality of
+    :class:`ResourceMatrix` for comparisons.
     """
     matrix = ResourceMatrix()
     worklist: Deque[Entry] = deque()

@@ -24,7 +24,9 @@ top of the Table 8 closure machinery:
   at ``l'`` are copied to ``l_{n•}`` (a copy edge ``l' → l_{n•}``).
 
 The seeds and extra copy edges are fed into the same propagation fixpoint as
-Table 8, so all rules reach a joint fixpoint.
+Table 8, so all rules reach a joint fixpoint.  The seed matrix is a copy of
+``RM_lo`` and therefore interns the ``n◦``/``n•`` node names into the same
+per-session universe the rest of the pipeline uses.
 """
 
 from __future__ import annotations

@@ -12,11 +12,13 @@ make every input row element appear to flow to every output row element.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.flowgraph import FlowGraph
 from repro.analysis.local_deps import local_resource_matrix
 from repro.analysis.resource_matrix import ResourceMatrix
 from repro.cfg.builder import ProgramCFG
+from repro.dataflow.universe import FactUniverse
 
 
 @dataclass
@@ -29,9 +31,11 @@ class KemmererResult:
     """The transitive closure of ``direct_graph`` — Kemmerer's reported flows."""
 
 
-def kemmerer_analysis(program_cfg: ProgramCFG) -> KemmererResult:
+def kemmerer_analysis(
+    program_cfg: ProgramCFG, universe: Optional[FactUniverse] = None
+) -> KemmererResult:
     """Run Kemmerer's method on an already-built program CFG."""
-    rm_local = local_resource_matrix(program_cfg)
+    rm_local = local_resource_matrix(program_cfg, universe=universe)
     direct = FlowGraph.from_resource_matrix(rm_local)
     closed = direct.transitive_closure()
     return KemmererResult(rm_local=rm_local, direct_graph=direct, graph=closed)

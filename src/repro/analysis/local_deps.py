@@ -25,10 +25,11 @@ results into ``RM_lo``.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Sequence, Set
+from typing import FrozenSet, Iterable, Optional, Sequence, Set
 
 from repro.analysis.resource_matrix import Access, ResourceMatrix
 from repro.cfg.builder import ProgramCFG
+from repro.dataflow.universe import FactUniverse
 from repro.vhdl import ast
 from repro.vhdl.elaborate import Process
 
@@ -97,10 +98,12 @@ def _analyze_statement(
 
 
 def local_dependencies(
-    process: Process, block_set: Iterable[str] = ()
+    process: Process,
+    block_set: Iterable[str] = (),
+    universe: Optional[FactUniverse] = None,
 ) -> ResourceMatrix:
     """``B ⊢ ss_i : RM_i`` for one process (``B = ∅`` unless overridden)."""
-    matrix = ResourceMatrix()
+    matrix = ResourceMatrix(universe=universe)
     process_signals = frozenset(process.free_signals())
     _analyze_statements(
         process.body, frozenset(block_set), process_signals, matrix
@@ -108,10 +111,18 @@ def local_dependencies(
     return matrix
 
 
-def local_resource_matrix(program_cfg: ProgramCFG) -> ResourceMatrix:
-    """``RM_lo = ⋃_i RM_i`` where ``∅ ⊢ ss_i : RM_i`` (Section 5.2)."""
-    matrix = ResourceMatrix()
+def local_resource_matrix(
+    program_cfg: ProgramCFG, universe: Optional[FactUniverse] = None
+) -> ResourceMatrix:
+    """``RM_lo = ⋃_i RM_i`` where ``∅ ⊢ ss_i : RM_i`` (Section 5.2).
+
+    All per-process matrices are interned into the same (per-session) name
+    universe, so the union is a plain per-label bitwise OR.
+    """
+    matrix = ResourceMatrix(universe=universe)
     for name in program_cfg.process_order:
         process = program_cfg.processes[name].process
-        matrix.update(local_dependencies(process))
+        matrix.update(
+            local_dependencies(process, universe=matrix.universe)
+        )
     return matrix

@@ -11,14 +11,25 @@ manipulate sets ``RM ⊆ (Var ∪ Sig) × Lab × {M0, M1, R0, R1}``:
   synchronisation performed by a ``wait`` statement.
 
 Storage is *label-columnar*: a matrix maps each label to four name-bitsets,
-one per access kind, with resource names interned once into a process-wide
-:class:`~repro.dataflow.universe.FactUniverse` shared by every matrix.  Adding
-an entry sets one bit; union of matrices is a per-label ``|``; the closure
-fixpoint propagates whole ``R0`` columns with single OR operations instead of
-hashing one :class:`Entry` object per (name, label) pair.  The
-:class:`Entry`-based view (iteration, ``entries()``, the ``*_at`` lookups) is
-decoded on demand at the boundary and yields entries in a canonical sorted
-order, so renderings and reports are byte-stable across runs.
+one per access kind, with resource names interned into a
+:class:`~repro.dataflow.universe.FactUniverse`.  Adding an entry sets one bit;
+union of matrices is a per-label ``|``; the closure fixpoint propagates whole
+``R0`` columns with single OR operations instead of hashing one :class:`Entry`
+object per (name, label) pair.  The :class:`Entry`-based view (iteration,
+``entries()``, the ``*_at`` lookups) is decoded on demand at the boundary and
+yields entries in a canonical sorted order, so renderings and reports are
+byte-stable across runs.
+
+The name universe is **per session**, not process-global: every analysis run
+threads one explicit :class:`FactUniverse` through the pipeline (see
+:func:`repro.analysis.api.analyze_design`), so independent analyses neither
+share nor leak interned names, and long-lived servers analysing many unrelated
+designs do not pay for every name ever seen in the width of later bitsets.
+Matrices created without an explicit universe get a private fresh one.  All
+bitset-level operations between two matrices take the fast path when the
+universes are the *same object*; otherwise they fall back to re-encoding by
+name, so cross-session comparisons (the equivalence tests rely on these)
+remain correct.
 
 Resource names for the improved analysis (Table 9) use the suffixes ``◦`` and
 ``•`` for incoming and outgoing values; :func:`incoming_node` /
@@ -76,37 +87,6 @@ _READ_COLUMNS = (Access.R0.column, Access.R1.column)
 _MODIFY_COLUMNS = (Access.M0.column, Access.M1.column)
 
 
-#: The process-wide name interner shared by every matrix, so bitsets from
-#: different matrices use the same bit positions and combine with plain ``|``
-#: — including matrices from *different* analysis runs (the equivalence tests
-#: compare those directly).  The universe is append-only: a very long-lived
-#: process analysing many unrelated designs pays for every name ever interned
-#: in the width of later bitsets.  If that ever matters, the fix is a
-#: per-session universe threaded through the pipeline, not a reset (resetting
-#: would silently invalidate every live matrix).
-_NAMES: FactUniverse = FactUniverse()
-
-
-def name_universe() -> FactUniverse:
-    """The shared resource-name universe (exposed for tests and diagnostics)."""
-    return _NAMES
-
-
-def decode_names(bits: int) -> FrozenSet[str]:
-    """The resource names of a name-bitset."""
-    return _NAMES.decode(bits)
-
-
-def sorted_names(bits: int) -> List[str]:
-    """The resource names of a name-bitset in lexical order."""
-    return sorted(_NAMES.decode_iter(bits))
-
-
-def encode_names(names: Iterable[str]) -> int:
-    """The name-bitset of ``names`` (interning any new ones)."""
-    return _NAMES.encode(names)
-
-
 INCOMING_SUFFIX = "○"  # ◦ (white circle)
 OUTGOING_SUFFIX = "•"  # • (bullet)
 
@@ -155,32 +135,56 @@ class ResourceMatrix:
 
     Each label row is a four-slot list of name-bitsets indexed by
     :attr:`Access.column`; rows are created on first write and always hold at
-    least one set bit, so structural equality is plain dict comparison.
+    least one set bit.  Bit positions are allocated by the matrix's
+    :attr:`universe`; matrices sharing a universe compare and combine at the
+    bitset level, others fall back to name-based re-encoding.
     """
 
-    __slots__ = ("_cols",)
+    __slots__ = ("_cols", "_universe")
 
-    def __init__(self, entries: Optional[Iterable[Entry]] = None):
+    def __init__(
+        self,
+        entries: Optional[Iterable[Entry]] = None,
+        universe: Optional[FactUniverse] = None,
+    ):
+        self._universe: FactUniverse = (
+            universe if universe is not None else FactUniverse()
+        )
         self._cols: Dict[int, List[int]] = {}
         for entry in entries or ():
             self.add_entry(entry)
 
+    @property
+    def universe(self) -> FactUniverse:
+        """The name universe allocating this matrix's bit positions."""
+        return self._universe
+
+    def sorted_names(self, bits: int) -> List[str]:
+        """The resource names of a name-bitset in lexical order."""
+        return sorted(self._universe.decode_iter(bits))
+
+    def decode_names(self, bits: int) -> FrozenSet[str]:
+        """The resource names of a name-bitset."""
+        return self._universe.decode(bits)
+
     # -- basic protocol --------------------------------------------------------
 
     def __contains__(self, entry: Entry) -> bool:
-        if entry.name not in _NAMES:
+        if entry.name not in self._universe:
             return False
         row = self._cols.get(entry.label)
         if row is None:
             return False
-        return bool(row[entry.access.column] >> _NAMES.index_of(entry.name) & 1)
+        return bool(
+            row[entry.access.column] >> self._universe.index_of(entry.name) & 1
+        )
 
     def __iter__(self) -> Iterator[Entry]:
         """Entries in canonical ``(label, access, name)`` order."""
         for label in sorted(self._cols):
             row = self._cols[label]
             for access in _ACCESS_ORDER:
-                for name in sorted_names(row[access.column]):
+                for name in self.sorted_names(row[access.column]):
                     yield Entry(name, label, access)
 
     def __len__(self) -> int:
@@ -188,15 +192,25 @@ class ResourceMatrix:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ResourceMatrix):
-            return self._cols == other._cols
+            if self._universe is other._universe:
+                return self._cols == other._cols
+            return self._canonical() == other._canonical()
         return NotImplemented
+
+    def _canonical(self) -> Dict[int, Tuple[FrozenSet[str], ...]]:
+        """A universe-independent rendering, for cross-session comparison."""
+        decode = self._universe.decode
+        return {
+            label: tuple(decode(bits) for bits in row)
+            for label, row in self._cols.items()
+        }
 
     def __repr__(self) -> str:
         return f"ResourceMatrix({len(self)} entries)"
 
     def copy(self) -> "ResourceMatrix":
-        """An independent copy (rows are duplicated, bitsets are immutable)."""
-        clone = ResourceMatrix()
+        """An independent copy (rows are duplicated, the universe is shared)."""
+        clone = ResourceMatrix(universe=self._universe)
         clone._cols = {label: list(row) for label, row in self._cols.items()}
         return clone
 
@@ -208,7 +222,7 @@ class ResourceMatrix:
 
     def add(self, name: str, label: int, access: Access) -> bool:
         """Add an entry; returns True when it was not already present."""
-        bit = 1 << _NAMES.intern(name)
+        bit = 1 << self._universe.intern(name)
         row = self._cols.get(label)
         if row is None:
             row = self._cols[label] = [0, 0, 0, 0]
@@ -225,15 +239,25 @@ class ResourceMatrix:
     def update(self, other: "ResourceMatrix") -> None:
         """In-place union with another matrix (per-label bitwise OR)."""
         cols = self._cols
+        if other._universe is self._universe:
+            for label, other_row in other._cols.items():
+                row = cols.get(label)
+                if row is None:
+                    cols[label] = list(other_row)
+                else:
+                    row[0] |= other_row[0]
+                    row[1] |= other_row[1]
+                    row[2] |= other_row[2]
+                    row[3] |= other_row[3]
+            return
+        # Foreign universe: bit positions are not comparable, re-encode by name.
+        encode = self._universe.encode
+        decode = other._universe.decode_iter
         for label, other_row in other._cols.items():
-            row = cols.get(label)
-            if row is None:
-                cols[label] = list(other_row)
-            else:
-                row[0] |= other_row[0]
-                row[1] |= other_row[1]
-                row[2] |= other_row[2]
-                row[3] |= other_row[3]
+            for access in _ACCESS_ORDER:
+                bits = other_row[access.column]
+                if bits:
+                    self.or_bits(label, access, encode(decode(bits)))
 
     def union(self, other: "ResourceMatrix") -> "ResourceMatrix":
         """The union of two matrices as a new matrix."""
@@ -297,7 +321,7 @@ class ResourceMatrix:
         bits = 0
         for row in self._cols.values():
             bits |= row[0] | row[1] | row[2] | row[3]
-        return decode_names(bits)
+        return self.decode_names(bits)
 
     def _entries_of_row(self, label: int, accesses: Iterable[Access]) -> List[Entry]:
         row = self._cols.get(label)
@@ -306,7 +330,7 @@ class ResourceMatrix:
         return [
             Entry(name, label, access)
             for access in accesses
-            for name in sorted_names(row[access.column])
+            for name in self.sorted_names(row[access.column])
         ]
 
     def at_label(self, label: int) -> List[Entry]:
@@ -326,14 +350,14 @@ class ResourceMatrix:
         return [
             Entry(name, label, access)
             for label in sorted(self._cols)
-            for name in sorted_names(self._cols[label][access.column])
+            for name in self.sorted_names(self._cols[label][access.column])
         ]
 
     def reads_of(self, name: str, access: Access = Access.R0) -> List[Entry]:
         """All entries reading ``name`` with the given access kind."""
-        if name not in _NAMES:
+        if name not in self._universe:
             return []
-        bit = 1 << _NAMES.index_of(name)
+        bit = 1 << self._universe.index_of(name)
         column = access.column
         return [
             Entry(name, label, access)

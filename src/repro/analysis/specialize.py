@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Set, Tuple
 from repro.analysis.local_deps import ResourceMatrix
 from repro.analysis.reaching_active import ActiveSignalsResult
 from repro.analysis.reaching_defs import ReachingDefinitionsResult
-from repro.analysis.resource_matrix import Access, decode_names
+from repro.analysis.resource_matrix import Access
 from repro.cfg.builder import ProgramCFG
 
 ResourceDef = Tuple[str, int]
@@ -51,6 +51,7 @@ def specialize(
 ) -> SpecializedRD:
     """Apply both rules of Table 7 and return ``RD†`` / ``RD†ϕ``."""
     result = SpecializedRD()
+    decode_names = rm_lo.universe.decode
 
     # [RD for active signals] — one pass over RD∪ϕ_entry per wait label that
     # carries R1 reads, filtering against the label's read-name set.

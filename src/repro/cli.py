@@ -7,9 +7,11 @@ Subcommands
     an adjacency list or DOT.
 ``kemmerer FILE``
     Run Kemmerer's baseline for comparison.
-``check FILE --secret S --output O``
+``check FILE --secret S [--output O]``
     Run the analysis and check a two-level policy (the listed secrets must not
-    flow to the listed outputs); exits with status 1 when a violation is found.
+    flow anywhere public — with ``--output`` restricted to flows into the
+    listed sinks); exits with status 1 when a violation is found.  Takes the
+    same ``--basic`` / ``--straight-line`` analysis flags as ``analyze``.
 ``simulate FILE --set PORT=VALUE``
     Execute the design with the delta-cycle simulator and print the final
     signal values.
@@ -72,13 +74,19 @@ def _cmd_kemmerer(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    result = analyze(_read_source(args.file), entity_name=args.entity)
+    result = analyze(
+        _read_source(args.file),
+        entity_name=args.entity,
+        improved=not args.basic,
+        loop_processes=not args.straight_line,
+    )
     policy = TwoLevelPolicy(secret_resources=args.secret)
     report = build_report(
         result,
         policy,
         transitive=args.transitive,
         restrict_to_ports=args.ports_only,
+        outputs=args.output or None,
     )
     print(report.to_text())
     return 0 if report.is_clean else 1
@@ -130,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--entity", default=None)
     check_p.add_argument("--secret", action="append", default=[], help="resource holding secret data (repeatable)")
     check_p.add_argument(
+        "--output",
+        action="append",
+        default=[],
+        help="restrict reported sinks to this resource (repeatable)",
+    )
+    check_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
+    check_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
+    check_p.add_argument(
         "--transitive",
         action="store_true",
         help="check paths instead of direct edges (Kemmerer-style, conservative)",
@@ -158,6 +174,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.handler(args)
     except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed our stdout (e.g. `vhdl-ifa ... | head`); exit
+        # quietly with the conventional SIGPIPE status — 1 and 2 are taken
+        # by "violation found" and "user error".
+        return 141
+    except OSError as error:
+        # A missing or unreadable input file is a user error, not a crash:
+        # report it the same way as a ReproError instead of a raw traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

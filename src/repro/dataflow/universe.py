@@ -20,6 +20,35 @@ from typing import Dict, FrozenSet, Generic, Iterable, Iterator, List, TypeVar
 Fact = TypeVar("Fact")
 
 
+def _dense_rendering(bits: int) -> "str | None":
+    """``bits`` as a reversed binary string when dense enough, else ``None``.
+
+    Dense bitsets are rendered once at C level (``bin``) and scanned as a
+    string (character ``i`` is bit ``i``), which beats per-bit bigint
+    arithmetic by a wide margin; sparse bitsets should use the lowest-set-bit
+    loop instead.  The density threshold and the subtle ``[:1:-1]`` reversal
+    live only here, shared by :func:`bit_indices` and
+    :meth:`FactUniverse.decode_list`.
+    """
+    if bits.bit_count() * 3 >= bits.bit_length():
+        return bin(bits)[:1:-1]
+    return None
+
+
+def bit_indices(bits: int) -> List[int]:
+    """The set bit positions of ``bits``, ascending."""
+    rendered = _dense_rendering(bits)
+    if rendered is not None:
+        return [index for index, bit in enumerate(rendered) if bit == "1"]
+    result: List[int] = []
+    append = result.append
+    while bits:
+        low = bits & -bits
+        append(low.bit_length() - 1)
+        bits ^= low
+    return result
+
+
 class FactUniverse(Generic[Fact]):
     """An append-only bijection between facts and bit positions."""
 
@@ -97,17 +126,10 @@ class FactUniverse(Generic[Fact]):
     def decode_list(self, bits: int) -> List[Fact]:
         """The facts of a bitset as a list, in ascending bit-position order."""
         facts = self._facts
-        if bits.bit_count() * 3 >= bits.bit_length():
-            # Dense bitset: one C-level render beats per-bit bigint arithmetic.
-            rendered = bin(bits)[:1:-1]
+        rendered = _dense_rendering(bits)
+        if rendered is not None:
             return [facts[i] for i, bit in enumerate(rendered) if bit == "1"]
-        result: List[Fact] = []
-        append = result.append
-        while bits:
-            low = bits & -bits
-            append(facts[low.bit_length() - 1])
-            bits ^= low
-        return result
+        return [facts[i] for i in bit_indices(bits)]
 
     def decode(self, bits: int) -> FrozenSet[Fact]:
         """The facts of a bitset as a frozenset."""

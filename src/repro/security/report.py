@@ -8,10 +8,11 @@ flow into an output, the set of inputs it may depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.api import AnalysisResult
 from repro.analysis.resource_matrix import base_resource, incoming_node, outgoing_node
+from repro.errors import ReproError
 from repro.security.policy import FlowPolicy, PolicyViolation, check_policy
 
 
@@ -66,7 +67,7 @@ def output_dependencies(result: AnalysisResult) -> Dict[str, List[str]]:
     dependencies: Dict[str, List[str]] = {}
     for output in result.design.output_ports:
         sink = outgoing_node(output) if result.improved else output
-        if sink not in graph.nodes:
+        if not graph.has_node(sink):
             sink = output
         direct_sources = graph.predecessors(sink)
         sources: List[str] = []
@@ -85,12 +86,16 @@ def build_report(
     policy: FlowPolicy,
     transitive: bool = False,
     restrict_to_ports: bool = False,
+    outputs: Optional[Iterable[str]] = None,
 ) -> CovertChannelReport:
     """Check an analysis result against a policy and build the full report.
 
     The default ``transitive=False`` reads the graph the way the paper intends
     (direct edges only; the closure is already flow-sensitive).  Setting
     ``transitive=True`` gives a Kemmerer-style conservative check over paths.
+    ``outputs`` optionally restricts the reported sinks: only violations
+    flowing into one of the listed resources (or their ``n◦``/``n•``
+    environment nodes) and only their dependency lines are kept.
     """
     restrict = None
     if restrict_to_ports:
@@ -98,11 +103,37 @@ def build_report(
     violations = check_policy(
         result.graph, policy, transitive=transitive, restrict_to=restrict
     )
+    dependencies = output_dependencies(result)
+    if outputs is not None:
+        wanted = set(outputs)
+        # Only resources that can actually receive a flow qualify as sinks:
+        # the design's output ports plus every graph node with an incoming
+        # edge.  Rejecting anything else (a typo, an input port, the secret
+        # itself) keeps the restriction from silently filtering every
+        # violation away and passing a leaky design.
+        sinks = {base_resource(node) for node in result.graph.targets()}
+        sinks.update(result.design.output_ports)
+        not_sinks = wanted - sinks
+        if not_sinks:
+            raise ReproError(
+                "--output must name an output port or a resource flows can "
+                "reach; not a flow sink: " + ", ".join(sorted(not_sinks))
+            )
+        violations = [
+            violation
+            for violation in violations
+            if base_resource(violation.target) in wanted
+        ]
+        dependencies = {
+            name: sources
+            for name, sources in dependencies.items()
+            if name in wanted
+        }
     return CovertChannelReport(
         design_name=result.design.name,
         policy=policy,
         violations=violations,
-        output_dependencies=output_dependencies(result),
+        output_dependencies=dependencies,
         node_count=result.graph.node_count(),
         edge_count=result.graph.edge_count(),
     )

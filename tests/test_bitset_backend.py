@@ -21,9 +21,10 @@ from repro import workloads
 from repro.aes.generator import aes_round_source, shift_rows_paper_source
 from repro.analysis.api import analyze
 from repro.analysis.closure import propagate, propagate_naive
+from repro.analysis.flowgraph import FlowGraph, resource_matrix_edges
 from repro.analysis.resource_matrix import Access, Entry, ResourceMatrix
 from repro.dataflow.framework import DataflowInstance, JoinMode
-from repro.dataflow.universe import FactUniverse
+from repro.dataflow.universe import FactUniverse, bit_indices
 from repro.dataflow.worklist import solve, solve_sets
 
 WORKLOADS = [
@@ -236,3 +237,114 @@ class TestPipelineEquivalence:
         slow = analyze(source, improved=True)
         assert fast.rm_global == slow.rm_global
         assert fast.graph.edges == slow.graph.edges
+
+
+class TestBitIndices:
+    @pytest.mark.parametrize(
+        "bits", [0, 1, (1 << 300) - 1, (1 << 5) | (1 << 150) | (1 << 299)]
+    )
+    def test_matches_naive_decomposition(self, bits):
+        assert bit_indices(bits) == [
+            i for i in range(bits.bit_length()) if bits >> i & 1
+        ]
+
+
+class TestFlowGraphOracle:
+    """Bitset-native FlowGraph vs. the materialised-edge-set construction."""
+
+    def _oracle(self, matrix, include_self_loops=True):
+        return FlowGraph.from_edges(
+            resource_matrix_edges(matrix, include_self_loops=include_self_loops),
+            nodes=matrix.names(),
+        )
+
+    @pytest.mark.parametrize("source,kwargs", WORKLOADS)
+    @pytest.mark.parametrize("improved", [True, False], ids=["improved", "basic"])
+    def test_byte_identical_renderings_on_workloads(self, source, kwargs, improved):
+        result = analyze(source, improved=improved, **kwargs)
+        graph = result.graph
+        oracle = self._oracle(result.rm_global)
+        assert graph.to_dot() == oracle.to_dot()
+        assert graph.to_adjacency() == oracle.to_adjacency()
+        assert graph.edges == oracle.edges
+        assert graph.nodes == oracle.nodes
+        assert graph == oracle
+
+    def test_byte_identical_renderings_on_8xN_chain(self):
+        result = analyze(workloads.synthetic_chain_program(8, 12), improved=True)
+        graph = result.graph
+        oracle = self._oracle(result.rm_global)
+        assert graph.to_dot() == oracle.to_dot()
+        assert graph.to_adjacency() == oracle.to_adjacency()
+        assert graph.edge_count() == oracle.edge_count()
+
+    def test_self_loop_exclusion_matches_oracle(self):
+        result = analyze(workloads.challenge_f_program(), improved=True)
+        graph = FlowGraph.from_resource_matrix(
+            result.rm_global, include_self_loops=False
+        )
+        oracle = self._oracle(result.rm_global, include_self_loops=False)
+        # the oracle drops isolated nodes' self-loops but keeps the nodes
+        assert graph.edges == oracle.edges
+        assert graph.to_adjacency() == oracle.to_adjacency()
+
+    def test_graph_algebra_agrees_with_oracle(self):
+        result = analyze(workloads.producer_consumer_program(), improved=True)
+        graph = result.graph
+        oracle = self._oracle(result.rm_global)
+        assert (
+            graph.transitive_closure().edges == oracle.transitive_closure().edges
+        )
+        assert graph.is_transitive() == oracle.is_transitive()
+        assert (
+            graph.collapse_environment_nodes().edges
+            == oracle.collapse_environment_nodes().edges
+        )
+        for node in sorted(graph.nodes):
+            assert graph.successors(node) == oracle.successors(node)
+            assert graph.predecessors(node) == oracle.predecessors(node)
+            assert graph.reachable_from(node) == oracle.reachable_from(node)
+
+
+class TestPerSessionUniverse:
+    """Independent analyses must not share or leak interned names."""
+
+    def test_sessions_get_independent_universes(self):
+        first = analyze(workloads.paper_program_a(), loop_processes=False)
+        size_before = len(first.universe)
+        second = analyze(workloads.producer_consumer_program())
+        assert first.universe is not second.universe
+        # the second analysis interned nothing into the first session
+        assert len(first.universe) == size_before
+        assert "left" not in first.universe
+        assert "a" not in second.universe
+
+    def test_explicit_universe_is_threaded_through_the_pipeline(self):
+        universe = FactUniverse()
+        result = analyze(workloads.challenge_f_program(), universe=universe)
+        assert result.universe is universe
+        assert result.rm_local.universe is universe
+        assert result.rm_global.universe is universe
+
+    def test_shared_universe_pools_two_runs(self):
+        universe = FactUniverse()
+        first = analyze(workloads.paper_program_a(), universe=universe)
+        second = analyze(workloads.challenge_f_program(), universe=universe)
+        assert first.rm_global.universe is second.rm_global.universe
+        # both graphs stay internally consistent against their own matrices
+        assert first.graph.edges == FlowGraph.from_edges(
+            resource_matrix_edges(first.rm_global)
+        ).edges
+        assert second.graph.edges == FlowGraph.from_edges(
+            resource_matrix_edges(second.rm_global)
+        ).edges
+
+    def test_cross_universe_matrix_equality_and_union(self):
+        left = ResourceMatrix([Entry("a", 1, Access.R0), Entry("b", 1, Access.M0)])
+        right = ResourceMatrix([Entry("b", 1, Access.M0), Entry("a", 1, Access.R0)])
+        assert left.universe is not right.universe
+        assert left == right
+        extra = ResourceMatrix([Entry("z", 9, Access.M1)])
+        combined = left.union(extra)
+        assert Entry("z", 9, Access.M1) in combined
+        assert len(combined) == 3

@@ -69,6 +69,47 @@ class TestCheckCommand:
         assert main(["check", producer_file, "--secret", "left"]) == 1
         assert "violation" in capsys.readouterr().out
 
+    def test_output_flag_restricts_reported_sinks(self, design_file, capsys):
+        # key flows into the internal temporary t, but with the sinks
+        # restricted to the leak output the check comes back clean
+        assert main(["check", design_file, "--secret", "key", "--output", "leak"]) == 0
+        out = capsys.readouterr().out
+        assert "leak <- plain" in out
+        assert "to t" not in out
+
+    def test_unknown_output_is_an_error(self, design_file, capsys):
+        assert main(["check", design_file, "--secret", "key", "--output", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope" in err
+
+    def test_source_only_resource_is_rejected_as_output(self, design_file, capsys):
+        # `plain` is an input port: nothing flows *into* it, so accepting it
+        # as a sink would silently filter away every violation
+        assert main(["check", design_file, "--secret", "key", "--output", "plain"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "plain" in err
+
+    def test_basic_flag_disables_environment_nodes(self, design_file, capsys):
+        # the improved analysis reports the key○ incoming node as well ...
+        assert main(["check", design_file, "--secret", "key"]) == 1
+        assert "key○" in capsys.readouterr().out
+        # ... the basic (Table 8 only) analysis has no environment nodes
+        assert main(["check", design_file, "--secret", "key", "--basic"]) == 1
+        assert "key○" not in capsys.readouterr().out
+
+    def test_straight_line_flag_changes_the_verdict(self, tmp_path, capsys):
+        # program (a): c := b; b := a.  Looped, the previous iteration's
+        # b := a reaches c := b, so the secret a also taints c; analysed as
+        # straight-line code (the paper's Figure 3(a) reading) it does not.
+        path = tmp_path / "a.vhd"
+        path.write_text(workloads.paper_program_a(), encoding="utf-8")
+        assert main(["check", str(path), "--secret", "a"]) == 1
+        assert "to c" in capsys.readouterr().out
+        assert main(["check", str(path), "--secret", "a", "--straight-line"]) == 1
+        assert "to c" not in capsys.readouterr().out
+
 
 class TestSimulateCommand:
     def test_simulation_prints_signal_values(self, producer_file, capsys):
@@ -99,3 +140,16 @@ class TestErrorHandling:
         path.write_text("entity broken is", encoding="utf-8")
         assert main(["analyze", str(path)]) == 2
         assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["analyze", "kemmerer", "check", "simulate"])
+    def test_missing_file_is_reported_not_raised(self, command, tmp_path, capsys):
+        missing = str(tmp_path / "does_not_exist.vhd")
+        assert main([command, missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "does_not_exist.vhd" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unreadable_directory_is_reported_not_raised(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")

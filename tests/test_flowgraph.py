@@ -1,6 +1,6 @@
 """Tests for the FlowGraph result type."""
 
-from repro.analysis.flowgraph import FlowGraph
+from repro.analysis.flowgraph import FlowGraph, resource_matrix_edges
 from repro.analysis.resource_matrix import (
     Access,
     ResourceMatrix,
@@ -43,6 +43,34 @@ class TestConstruction:
     def test_from_edges_registers_nodes(self):
         graph = FlowGraph.from_edges([("x", "y")], nodes=["z"])
         assert graph.nodes == {"x", "y", "z"}
+
+    def test_both_construction_paths_agree(self):
+        matrix = ResourceMatrix()
+        matrix.add("a", 1, Access.R0)
+        matrix.add("b", 1, Access.R1)
+        matrix.add("c", 1, Access.M0)
+        matrix.add("c", 2, Access.R0)
+        matrix.add("d", 2, Access.M1)
+        matrix.add("lonely", 3, Access.R0)
+        bitset = FlowGraph.from_resource_matrix(matrix)
+        oracle = FlowGraph.from_edges(
+            resource_matrix_edges(matrix), nodes=matrix.names()
+        )
+        assert bitset == oracle
+        assert bitset.to_dot() == oracle.to_dot()
+        assert bitset.to_adjacency() == oracle.to_adjacency()
+
+    def test_edges_are_decoded_lazily_and_iterable(self):
+        graph = small_graph()
+        assert sorted(graph.iter_edges()) == [("a", "b"), ("b", "c")]
+        assert set(graph) == {("a", "b"), ("b", "c")}
+        assert ("a", "b") in graph
+        assert ("a", "c") not in graph
+
+    def test_has_node(self):
+        graph = small_graph()
+        assert graph.has_node("a")
+        assert not graph.has_node("nope")
 
 
 class TestQueries:
