@@ -25,8 +25,9 @@ from repro.analysis.reaching_defs import analyze_reaching_definitions
 from repro.analysis.specialize import specialize
 from repro.analysis.api import analyze_design
 from repro.cfg.builder import build_cfg
+from repro.pipeline import AnalysisOptions, ArtifactCache, expand_jobs, run_batch
 from repro.vhdl.elaborate import elaborate_source
-from repro.workloads import synthetic_chain_program
+from repro.workloads import multi_entity_program, synthetic_chain_program
 
 #: (processes, assignments per process) — program size grows left to right.
 #: The 8×64 chain is the headline workload of the bitset-engine optimisation;
@@ -96,4 +97,77 @@ def test_closure_phase_scaling(benchmark, report, processes, assignments):
         assignments_per_process=assignments,
         local_entries=len(rm_local),
         global_entries=len(result.rm_global),
+    )
+
+
+# ---------------------------------------------------------------- batch driver
+#
+# The batch-throughput phase: one source file holding BATCH_ENTITIES chain
+# designs, expanded (as `vhdl-ifa batch --all-entities` does) into one
+# analysis job per entity, and driven three ways — sequentially from cold,
+# over the process pool, and sequentially over a warm artifact cache.  The
+# recorded trajectory shows what the deployment modes buy: pool speed-up
+# scales with the machine's cores (on a single-core runner the pool only adds
+# overhead), while the warm-cache run skips every stage regardless.
+
+#: Entities per batch file × the per-entity chain shape.
+BATCH_ENTITIES = 8
+BATCH_SHAPE = (8, 32)
+
+
+@pytest.fixture(scope="module")
+def batch_jobs(tmp_path_factory):
+    """One multi-entity workload file, expanded into per-entity jobs."""
+    path = tmp_path_factory.mktemp("batch") / "designs.vhd"
+    path.write_text(
+        multi_entity_program(BATCH_ENTITIES, *BATCH_SHAPE), encoding="utf-8"
+    )
+    return expand_jobs([str(path)], all_entities=True)
+
+
+def _assert_batch_ok(report):
+    assert report.ok, [item.error for item in report.failures]
+    return report
+
+
+def test_batch_throughput_sequential(benchmark, report, batch_jobs):
+    """Cold in-process batch: the baseline every other mode is measured against."""
+    result = benchmark(
+        lambda: _assert_batch_ok(
+            run_batch(batch_jobs, AnalysisOptions(), parallel=False)
+        )
+    )
+    report(jobs=len(batch_jobs), entities=BATCH_ENTITIES)
+
+
+def test_batch_throughput_parallel(benchmark, report, batch_jobs):
+    """The process-pool path (worker count = CPU count, pool startup included)."""
+    result = benchmark(
+        lambda: _assert_batch_ok(run_batch(batch_jobs, AnalysisOptions(), parallel=True))
+    )
+    report(jobs=len(batch_jobs), entities=BATCH_ENTITIES, workers=result.workers)
+
+
+def test_batch_throughput_warm_cache(benchmark, report, batch_jobs):
+    """Re-running a batch over a warm artifact cache: every stage served cached."""
+    cache = ArtifactCache()
+    cold = _assert_batch_ok(
+        run_batch(batch_jobs, AnalysisOptions(), parallel=False, cache=cache)
+    )
+
+    def run():
+        warm = _assert_batch_ok(
+            run_batch(batch_jobs, AnalysisOptions(), parallel=False, cache=cache)
+        )
+        assert [item.text for item in warm.items] == [item.text for item in cold.items]
+        return warm
+
+    warm = benchmark(run)
+    cached = set(warm.items[0].data["cached_stages"])
+    assert {"parse", "elaborate", "closure"} <= cached
+    report(
+        jobs=len(batch_jobs),
+        entities=BATCH_ENTITIES,
+        cached_stages_per_job=sorted(cached),
+        cache_entries=len(cache),
     )

@@ -24,69 +24,31 @@ independent calls get independent universes, so a server or batch deployment
 analysing many unrelated designs neither shares nor leaks interned names
 between runs.  Pass ``universe`` explicitly to pool several runs in one
 session (their matrices then compare and combine at the bitset level).
+
+These functions are thin wrappers over :class:`repro.pipeline.Pipeline`,
+which exposes the same run as named, individually invokable and timed stages
+with a content-addressed artifact cache; use the pipeline directly (or
+:func:`repro.pipeline.run_batch`) for servers, batch jobs and anything that
+wants stage timings or warm-cache reruns.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.analysis.closure import ClosureResult, global_resource_matrix
-from repro.analysis.flowgraph import FlowGraph
-from repro.analysis.improved import ImprovedClosureResult, improved_global_resource_matrix
-from repro.analysis.kemmerer import KemmererResult, kemmerer_analysis
-from repro.analysis.local_deps import local_resource_matrix
-from repro.analysis.reaching_active import ActiveSignalsResult, analyze_all_active_signals
-from repro.analysis.reaching_defs import (
-    ReachingDefinitionsResult,
-    analyze_reaching_definitions,
-)
-from repro.analysis.resource_matrix import ResourceMatrix
-from repro.analysis.specialize import SpecializedRD, specialize
-from repro.cfg.builder import ProgramCFG, build_cfg
+from repro.analysis.kemmerer import KemmererResult
 from repro.dataflow.universe import FactUniverse
-from repro.vhdl.elaborate import Design, elaborate
-from repro.vhdl.parser import parse_program
+from repro.pipeline.artifacts import AnalysisOptions, AnalysisResult
+from repro.pipeline.stages import Pipeline
+from repro.vhdl.elaborate import Design
 
-
-@dataclass
-class AnalysisResult:
-    """All artefacts produced by one Information Flow analysis run."""
-
-    design: Design
-    program_cfg: ProgramCFG
-    active: Dict[str, ActiveSignalsResult]
-    reaching: ReachingDefinitionsResult
-    rm_local: ResourceMatrix
-    specialized: SpecializedRD
-    rm_global: ResourceMatrix
-    graph: FlowGraph
-    improved: bool
-    outgoing_labels: Dict[str, int] = field(default_factory=dict)
-    universe: Optional[FactUniverse] = None
-    """The per-session resource-name universe this run interned into."""
-
-    @property
-    def flow_graph(self) -> FlowGraph:
-        """Alias for :attr:`graph` (the paper's result artefact)."""
-        return self.graph
-
-    def graph_without_self_loops(self) -> FlowGraph:
-        """The flow graph with trivial ``n → n`` edges removed."""
-        return self.graph.without_self_loops()
-
-    def collapsed_graph(self) -> FlowGraph:
-        """The flow graph with ``n◦``/``n•`` merged back onto ``n``."""
-        return self.graph.collapse_environment_nodes()
-
-    def summary(self) -> str:
-        """Short human-readable description of the run."""
-        cfg_stats = self.program_cfg.summary()
-        return (
-            f"design {self.design.name!r}: {cfg_stats['processes']} processes, "
-            f"{cfg_stats['labels']} blocks, {len(self.rm_local)} local entries, "
-            f"{len(self.rm_global)} global entries, graph: {self.graph.summary()}"
-        )
+__all__ = [
+    "AnalysisResult",
+    "analyze",
+    "analyze_design",
+    "analyze_kemmerer",
+    "analyze_kemmerer_design",
+]
 
 
 def analyze_design(
@@ -106,39 +68,12 @@ def analyze_design(
     under-approximation contributes.  ``universe`` optionally supplies the
     session's resource-name universe; by default every call gets a fresh one.
     """
-    if universe is None:
-        universe = FactUniverse()
-    program_cfg = build_cfg(design, loop_processes=loop_processes)
-    active = analyze_all_active_signals(program_cfg.processes)
-    reaching = analyze_reaching_definitions(
-        program_cfg, active, use_under_approximation=use_under_approximation
-    )
-    rm_local = local_resource_matrix(program_cfg, universe=universe)
-    specialized = specialize(program_cfg, rm_local, active, reaching)
-
-    outgoing_labels: Dict[str, int] = {}
-    if improved:
-        closure: ImprovedClosureResult = improved_global_resource_matrix(
-            program_cfg, rm_local, specialized, design
-        )
-        outgoing_labels = closure.outgoing_labels
-    else:
-        closure = global_resource_matrix(program_cfg, rm_local, specialized)
-
-    graph = FlowGraph.from_resource_matrix(closure.rm_global)
-    return AnalysisResult(
-        design=design,
-        program_cfg=program_cfg,
-        active=active,
-        reaching=reaching,
-        rm_local=rm_local,
-        specialized=specialized,
-        rm_global=closure.rm_global,
-        graph=graph,
+    options = AnalysisOptions(
         improved=improved,
-        outgoing_labels=outgoing_labels,
-        universe=universe,
+        loop_processes=loop_processes,
+        use_under_approximation=use_under_approximation,
     )
+    return Pipeline().run_design(design, options, universe=universe).result
 
 
 def analyze(
@@ -150,14 +85,13 @@ def analyze(
     universe: Optional[FactUniverse] = None,
 ) -> AnalysisResult:
     """Parse, elaborate and analyse VHDL1 source text."""
-    design = elaborate(parse_program(source), entity_name)
-    return analyze_design(
-        design,
+    options = AnalysisOptions(
+        entity=entity_name,
         improved=improved,
         loop_processes=loop_processes,
         use_under_approximation=use_under_approximation,
-        universe=universe,
     )
+    return Pipeline().run(source, options, universe=universe).result
 
 
 def analyze_kemmerer_design(
@@ -166,8 +100,10 @@ def analyze_kemmerer_design(
     universe: Optional[FactUniverse] = None,
 ) -> KemmererResult:
     """Run Kemmerer's baseline on an elaborated design."""
-    program_cfg = build_cfg(design, loop_processes=loop_processes)
-    return kemmerer_analysis(program_cfg, universe=universe)
+    options = AnalysisOptions(loop_processes=loop_processes)
+    return (
+        Pipeline().run_kemmerer_design(design, options, universe=universe).kemmerer
+    )
 
 
 def analyze_kemmerer(
@@ -177,7 +113,5 @@ def analyze_kemmerer(
     universe: Optional[FactUniverse] = None,
 ) -> KemmererResult:
     """Parse, elaborate and run Kemmerer's baseline on VHDL1 source text."""
-    design = elaborate(parse_program(source), entity_name)
-    return analyze_kemmerer_design(
-        design, loop_processes=loop_processes, universe=universe
-    )
+    options = AnalysisOptions(entity=entity_name, loop_processes=loop_processes)
+    return Pipeline().run_kemmerer(source, options, universe=universe).kemmerer

@@ -4,30 +4,49 @@ Subcommands
 -----------
 ``analyze FILE``
     Run the (improved) Information Flow analysis and print the flow graph as
-    an adjacency list or DOT.
+    an adjacency list or DOT; ``--json`` emits a machine-readable summary
+    with per-stage timings instead.
 ``kemmerer FILE``
-    Run Kemmerer's baseline for comparison.
+    Run Kemmerer's baseline for comparison.  Takes the same ``--collapse`` /
+    ``--self-loops`` graph-shaping flags as ``analyze``.
 ``check FILE --secret S [--output O]``
     Run the analysis and check a two-level policy (the listed secrets must not
     flow anywhere public — with ``--output`` restricted to flows into the
     listed sinks); exits with status 1 when a violation is found.  Takes the
-    same ``--basic`` / ``--straight-line`` analysis flags as ``analyze``.
+    same ``--basic`` / ``--straight-line`` analysis flags as ``analyze``, and
+    ``--json`` for a structured verdict.
+``batch FILE [FILE ...]``
+    Analyse many files (or every entity of each file with ``--all-entities``)
+    through the staged pipeline, in parallel by default; per-file output is
+    byte-identical to running ``analyze`` on each file.
 ``simulate FILE --set PORT=VALUE``
     Execute the design with the delta-cycle simulator and print the final
-    signal values.
+    signal values.  All ``--set`` stimuli are validated before the first
+    simulation step, so a malformed setting fails fast.
+
+All analysis subcommands run on :class:`repro.pipeline.Pipeline`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.api import analyze, analyze_kemmerer
 from repro.errors import ReproError
+from repro.pipeline.artifacts import AnalysisOptions
+from repro.pipeline.batch import default_workers, expand_jobs, run_batch
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.render import (
+    analysis_json,
+    render_adjacency,
+    render_analysis_text,
+    report_json,
+)
+from repro.pipeline.stages import Pipeline
 from repro.security.policy import TwoLevelPolicy
-from repro.security.report import build_report
 from repro.semantics.simulator import Simulator
 from repro.vhdl.elaborate import elaborate
 from repro.vhdl.parser import parse_program
@@ -38,74 +57,157 @@ def _read_source(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    result = analyze(
-        _read_source(args.file),
-        entity_name=args.entity,
+def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
+    return AnalysisOptions(
+        entity=args.entity,
         improved=not args.basic,
         loop_processes=not args.straight_line,
     )
-    graph = result.graph if args.self_loops else result.graph_without_self_loops()
-    if args.collapse:
-        graph = graph.collapse_environment_nodes()
-    print(result.summary())
-    if args.dot:
-        print(graph.to_dot())
-    else:
-        for node, successors in graph.to_adjacency().items():
-            print(f"  {node} -> {', '.join(successors) if successors else '(none)'}")
+
+
+def _print_json(document: dict) -> None:
+    print(json.dumps(document, indent=2, ensure_ascii=False))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    run = Pipeline().run(_read_source(args.file), _analysis_options(args))
+    if args.json:
+        document = {
+            "command": "analyze",
+            **analysis_json(
+                run, collapse=args.collapse, self_loops=args.self_loops,
+                file=args.file,
+            ),
+        }
+        _print_json(document)
+        return 0
+    print(
+        render_analysis_text(
+            run.result,
+            collapse=args.collapse,
+            self_loops=args.self_loops,
+            dot=args.dot,
+        )
+    )
     return 0
 
 
 def _cmd_kemmerer(args: argparse.Namespace) -> int:
-    result = analyze_kemmerer(
-        _read_source(args.file),
-        entity_name=args.entity,
-        loop_processes=not args.straight_line,
+    options = AnalysisOptions(
+        entity=args.entity, loop_processes=not args.straight_line
     )
-    graph = result.graph.without_self_loops()
+    result = Pipeline().run_kemmerer(_read_source(args.file), options).kemmerer
+    graph = result.graph if args.self_loops else result.graph.without_self_loops()
+    if args.collapse:
+        graph = graph.collapse_environment_nodes()
     print(f"Kemmerer's method: {graph.summary()}")
     if args.dot:
         print(graph.to_dot("kemmerer"))
     else:
-        for node, successors in graph.to_adjacency().items():
-            print(f"  {node} -> {', '.join(successors) if successors else '(none)'}")
+        for line in render_adjacency(graph):
+            print(line)
     return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    result = analyze(
-        _read_source(args.file),
-        entity_name=args.entity,
-        improved=not args.basic,
-        loop_processes=not args.straight_line,
-    )
     policy = TwoLevelPolicy(secret_resources=args.secret)
-    report = build_report(
-        result,
-        policy,
-        transitive=args.transitive,
-        restrict_to_ports=args.ports_only,
-        outputs=args.output or None,
+    run = Pipeline().run(
+        _read_source(args.file),
+        _analysis_options(args),
+        policy=policy,
+        report_options={
+            "transitive": args.transitive,
+            "restrict_to_ports": args.ports_only,
+            "outputs": args.output or None,
+        },
     )
-    print(report.to_text())
+    report = run.report
+    if args.json:
+        document = {
+            "command": "check",
+            **report_json(run, file=args.file),
+            "policy": {"secrets": sorted(policy.secret_resources)},
+        }
+        _print_json(document)
+    else:
+        print(report.to_text())
     return 0 if report.is_clean else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    # Sequential runs share one in-process cache across expansion and every
+    # job (repeated files, and each entity of a multi-entity file, reuse the
+    # parse/elaborate artifacts).  The parallel path gets the per-worker
+    # caches the pool initializer installs instead.
+    cache = ArtifactCache() if args.sequential else None
+    jobs = expand_jobs(args.files, all_entities=args.all_entities, cache=cache)
+    options = AnalysisOptions(
+        improved=not args.basic, loop_processes=not args.straight_line
+    )
+    report = run_batch(
+        jobs,
+        options,
+        collapse=args.collapse,
+        self_loops=args.self_loops,
+        dot=args.dot,
+        parallel=not args.sequential,
+        max_workers=args.jobs,
+        cache=cache,
+    )
+    if args.json:
+        _print_json(report.to_json_dict())
+        return 0 if report.ok else 2
+    for item in report.items:
+        print(f"== {item.job.label} ==")
+        if item.ok:
+            print(item.text)
+        else:
+            print(f"error: {item.error}", file=sys.stderr)
+    mode = "parallel" if report.parallel else "sequential"
+    print(
+        f"batch: {len(report.items)} job(s), {len(report.failures)} failed, "
+        f"{report.elapsed:.3f}s ({mode}, {report.workers} worker(s))",
+        file=sys.stderr,
+    )
+    return 0 if report.ok else 2
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     design = elaborate(parse_program(_read_source(args.file)), args.entity)
     simulator = Simulator(design)
-    simulator.run(args.max_deltas)
+    # Validate the complete stimulus set before the first simulation step: a
+    # malformed or unknown --set must fail fast, not after a full run.
+    settings = []
     for setting in args.set or []:
         if "=" not in setting:
             raise ReproError(f"--set expects PORT=VALUE, got {setting!r}")
         name, value = setting.split("=", 1)
-        simulator.drive(name.strip(), value.strip())
+        name, value = name.strip(), value.strip()
+        simulator.validate_drive(name, value)
+        settings.append((name, value))
+    simulator.run(args.max_deltas)
+    for name, value in settings:
+        simulator.drive(name, value)
     simulator.run(args.max_deltas)
     print(f"delta cycles: {simulator.delta_cycles}")
     for name, value in sorted(simulator.signal_snapshot().items()):
         print(f"  {name} = {value_to_string(value)}")
     return 0
+
+
+def _add_graph_flags(parser: argparse.ArgumentParser) -> None:
+    """The graph-shaping flags shared by ``analyze``, ``kemmerer``, ``batch``."""
+    parser.add_argument(
+        "--dot", action="store_true", help="emit Graphviz DOT instead of an adjacency list"
+    )
+    parser.add_argument(
+        "--collapse",
+        action="store_true",
+        help="merge incoming/outgoing nodes into their resources",
+    )
+    parser.add_argument(
+        "--self-loops", action="store_true", help="keep trivial self loops"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,16 +223,19 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--entity", help="entity to elaborate", default=None)
     analyze_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
     analyze_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
-    analyze_p.add_argument("--dot", action="store_true", help="emit Graphviz DOT instead of an adjacency list")
-    analyze_p.add_argument("--collapse", action="store_true", help="merge incoming/outgoing nodes into their resources")
-    analyze_p.add_argument("--self-loops", action="store_true", help="keep trivial self loops")
+    _add_graph_flags(analyze_p)
+    analyze_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable summary (adjacency, stage timings)",
+    )
     analyze_p.set_defaults(handler=_cmd_analyze)
 
     kem_p = sub.add_parser("kemmerer", help="run Kemmerer's baseline method")
     kem_p.add_argument("file", help="VHDL1 source file")
     kem_p.add_argument("--entity", default=None)
     kem_p.add_argument("--straight-line", action="store_true")
-    kem_p.add_argument("--dot", action="store_true")
+    _add_graph_flags(kem_p)
     kem_p.set_defaults(handler=_cmd_kemmerer)
 
     check_p = sub.add_parser("check", help="check a two-level confidentiality policy")
@@ -155,7 +260,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only report flows whose endpoints are entity ports",
     )
+    check_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable verdict (violations, stage timings)",
+    )
     check_p.set_defaults(handler=_cmd_check)
+
+    batch_p = sub.add_parser(
+        "batch", help="analyse many files through the staged pipeline"
+    )
+    batch_p.add_argument("files", nargs="+", help="VHDL1 source files")
+    batch_p.add_argument(
+        "--all-entities",
+        action="store_true",
+        help="analyse every entity of each file, not just the default one",
+    )
+    batch_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"worker processes (default: CPU count, here {default_workers()})",
+    )
+    batch_p.add_argument(
+        "--sequential",
+        action="store_true",
+        help="run in-process instead of over a worker pool",
+    )
+    batch_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
+    batch_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
+    _add_graph_flags(batch_p)
+    batch_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable document for the whole batch",
+    )
+    batch_p.set_defaults(handler=_cmd_batch)
 
     sim_p = sub.add_parser("simulate", help="run the delta-cycle simulator")
     sim_p.add_argument("file", help="VHDL1 source file")
@@ -181,9 +322,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # quietly with the conventional SIGPIPE status — 1 and 2 are taken
         # by "violation found" and "user error".
         return 141
-    except OSError as error:
-        # A missing or unreadable input file is a user error, not a crash:
-        # report it the same way as a ReproError instead of a raw traceback.
+    except (OSError, UnicodeDecodeError) as error:
+        # A missing, unreadable or non-UTF-8 input file is a user error, not
+        # a crash: report it the same way as a ReproError instead of a raw
+        # traceback.  (UnicodeDecodeError is a ValueError, so the OSError net
+        # alone would not catch it.)
         print(f"error: {error}", file=sys.stderr)
         return 2
 

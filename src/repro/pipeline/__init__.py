@@ -1,0 +1,71 @@
+"""The staged analysis pipeline, its artifact cache and the batch driver.
+
+This package is the deployment surface the high-level API promises: the
+monolithic analysis is decomposed into named, individually invokable and
+individually timed stages (:mod:`repro.pipeline.stages`), backed by a
+content-addressed artifact cache (:mod:`repro.pipeline.cache`), rendered for
+humans and machines (:mod:`repro.pipeline.render`) and driven over many
+designs at once, sequentially or in parallel (:mod:`repro.pipeline.batch`).
+
+The legacy entry points (:func:`repro.analysis.api.analyze` and friends) are
+thin wrappers over :class:`Pipeline` with unchanged behaviour.
+"""
+
+from repro.pipeline.artifacts import (
+    AnalysisOptions,
+    AnalysisResult,
+    PipelineResult,
+    StageTiming,
+)
+from repro.pipeline.batch import (
+    BatchItem,
+    BatchJob,
+    BatchReport,
+    entities_in,
+    expand_jobs,
+    run_batch,
+    run_job,
+)
+from repro.pipeline.cache import ArtifactCache, source_digest
+from repro.pipeline.render import (
+    analysis_json,
+    render_analysis_text,
+    report_json,
+    select_graph,
+)
+from repro.pipeline.stages import (
+    ANALYSIS_STAGES,
+    KEMMERER_STAGES,
+    STAGE_NAMES,
+    Pipeline,
+    PipelineContext,
+    Stage,
+    stage_key,
+)
+
+__all__ = [
+    "ANALYSIS_STAGES",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "ArtifactCache",
+    "BatchItem",
+    "BatchJob",
+    "BatchReport",
+    "KEMMERER_STAGES",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineResult",
+    "STAGE_NAMES",
+    "Stage",
+    "StageTiming",
+    "analysis_json",
+    "entities_in",
+    "expand_jobs",
+    "render_analysis_text",
+    "report_json",
+    "run_batch",
+    "run_job",
+    "select_graph",
+    "source_digest",
+    "stage_key",
+]

@@ -1,0 +1,128 @@
+"""Result and option types shared by the staged pipeline and the legacy API.
+
+:class:`AnalysisResult` is the bundle of artefacts one full Information Flow
+analysis run produces; it used to live in :mod:`repro.analysis.api` and is
+still re-exported from there.  :class:`AnalysisOptions` is the frozen set of
+knobs that select *which* analysis runs (and therefore participates in cache
+keys); :class:`StageTiming` / :class:`PipelineResult` describe *how* a
+pipeline run went, stage by stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.flowgraph import FlowGraph
+from repro.analysis.kemmerer import KemmererResult
+from repro.analysis.reaching_active import ActiveSignalsResult
+from repro.analysis.reaching_defs import ReachingDefinitionsResult
+from repro.analysis.resource_matrix import ResourceMatrix
+from repro.analysis.specialize import SpecializedRD
+from repro.cfg.builder import ProgramCFG
+from repro.dataflow.universe import FactUniverse
+from repro.vhdl.elaborate import Design
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """The analysis configuration, as it participates in cache keys.
+
+    ``entity`` selects the entity/architecture pair when the source contains
+    several; the three booleans mirror the keyword arguments of
+    :func:`repro.analysis.api.analyze` (Table 9 improvement, looping process
+    bodies, the ``RD∩ϕ`` under-approximation).
+    """
+
+    entity: Optional[str] = None
+    improved: bool = True
+    loop_processes: bool = True
+    use_under_approximation: bool = True
+
+
+@dataclass
+class AnalysisResult:
+    """All artefacts produced by one Information Flow analysis run."""
+
+    design: Design
+    program_cfg: ProgramCFG
+    active: Dict[str, ActiveSignalsResult]
+    reaching: ReachingDefinitionsResult
+    rm_local: ResourceMatrix
+    specialized: SpecializedRD
+    rm_global: ResourceMatrix
+    graph: FlowGraph
+    improved: bool
+    outgoing_labels: Dict[str, int] = field(default_factory=dict)
+    universe: Optional[FactUniverse] = None
+    """The per-session resource-name universe this run interned into."""
+
+    @property
+    def flow_graph(self) -> FlowGraph:
+        """Alias for :attr:`graph` (the paper's result artefact)."""
+        return self.graph
+
+    def graph_without_self_loops(self) -> FlowGraph:
+        """The flow graph with trivial ``n → n`` edges removed."""
+        return self.graph.without_self_loops()
+
+    def collapsed_graph(self) -> FlowGraph:
+        """The flow graph with ``n◦``/``n•`` merged back onto ``n``."""
+        return self.graph.collapse_environment_nodes()
+
+    def summary(self) -> str:
+        """Short human-readable description of the run."""
+        cfg_stats = self.program_cfg.summary()
+        return (
+            f"design {self.design.name!r}: {cfg_stats['processes']} processes, "
+            f"{cfg_stats['labels']} blocks, {len(self.rm_local)} local entries, "
+            f"{len(self.rm_global)} global entries, graph: {self.graph.summary()}"
+        )
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock record of one executed (or cache-served) pipeline stage."""
+
+    name: str
+    seconds: float
+    cached: bool = False
+
+
+@dataclass
+class PipelineResult:
+    """What one pipeline run produced, plus how long each stage took.
+
+    ``result`` is populated once the ``flow_graph`` stage has run (i.e. for
+    any full analysis run); ``kemmerer`` for Kemmerer-baseline runs;
+    ``report`` when a policy was supplied and the ``report`` stage ran.
+    ``artifacts`` is the raw stage context for partial runs (``until=``),
+    exposing every intermediate artefact by name.
+    """
+
+    options: AnalysisOptions
+    stages: List[StageTiming] = field(default_factory=list)
+    result: Optional[AnalysisResult] = None
+    kemmerer: Optional[KemmererResult] = None
+    report: Optional[Any] = None
+    artifacts: Optional[Any] = None
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Stage name → wall-clock seconds, in execution order."""
+        return {stage.name: stage.seconds for stage in self.stages}
+
+    @property
+    def cached_stages(self) -> List[str]:
+        """Names of the stages served from the artifact cache, in order."""
+        return [stage.name for stage in self.stages if stage.cached]
+
+    @property
+    def computed_stages(self) -> List[str]:
+        """Names of the stages actually executed (cache misses), in order."""
+        return [stage.name for stage in self.stages if not stage.cached]
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across all stages."""
+        return sum(stage.seconds for stage in self.stages)

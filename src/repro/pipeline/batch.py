@@ -1,0 +1,273 @@
+"""Batch driver: analyse many files (or all entities of a file) at once.
+
+The driver expands the requested paths into :class:`BatchJob` items (one per
+file, or one per entity with ``all_entities=True``), runs each job through
+the staged pipeline and renders the exact output the sequential
+``vhdl-ifa analyze`` command would print (see
+:func:`repro.pipeline.render.render_analysis_text` — both paths share it, so
+the per-file output is byte-identical by construction).
+
+``parallel=True`` distributes jobs over a ``ProcessPoolExecutor``; results
+are collected in submission order, so the output ordering is deterministic
+regardless of which worker finishes first.  Every pool worker keeps one
+process-local :class:`~repro.pipeline.cache.ArtifactCache` alive across the
+jobs it serves; in sequential mode a caller-supplied cache persists across
+whole batch runs, which is what makes warm re-runs skip the parse, elaborate
+and closure stages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.pipeline.artifacts import AnalysisOptions
+from repro.pipeline.cache import ArtifactCache, source_digest
+from repro.pipeline.render import analysis_json, render_analysis_text, select_graph
+from repro.pipeline.stages import PARSE, Pipeline, stage_key
+from repro.vhdl.parser import parse_program
+
+#: Everything one job can fail with: analysis errors, unreadable files, and
+#: files that are not valid UTF-8 (UnicodeDecodeError is a ValueError, so the
+#: OSError net alone would let it escape as a crash).
+_JOB_ERRORS = (ReproError, OSError, UnicodeDecodeError)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of batch work: a source file, optionally a specific entity."""
+
+    path: str
+    entity: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Display name used in headers and JSON output."""
+        return self.path if self.entity is None else f"{self.path}:{self.entity}"
+
+
+@dataclass
+class BatchItem:
+    """The outcome of one job: rendered text, JSON payload, or an error."""
+
+    job: BatchJob
+    ok: bool
+    text: str = ""
+    error: Optional[str] = None
+    data: Optional[Dict[str, Any]] = None
+    seconds: float = 0.0
+
+
+@dataclass
+class BatchReport:
+    """All job outcomes (in submission order) plus run-level statistics."""
+
+    items: List[BatchItem] = field(default_factory=list)
+    elapsed: float = 0.0
+    parallel: bool = False
+    workers: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when every job succeeded."""
+        return all(item.ok for item in self.items)
+
+    @property
+    def failures(self) -> List[BatchItem]:
+        """The failed jobs, in submission order."""
+        return [item for item in self.items if not item.ok]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The ``--json`` document for a whole batch run."""
+        return {
+            "command": "batch",
+            "parallel": self.parallel,
+            "workers": self.workers,
+            "jobs": [
+                {
+                    "file": item.job.path,
+                    "entity": item.job.entity,
+                    "ok": item.ok,
+                    "seconds": round(item.seconds, 6),
+                    **({"error": item.error} if item.error is not None else {}),
+                    **(item.data or {}),
+                }
+                for item in self.items
+            ],
+            "elapsed": round(self.elapsed, 6),
+            "failed": len(self.failures),
+        }
+
+
+def entities_in(source: str) -> List[str]:
+    """The entities of a source file, in architecture order."""
+    return [arch.entity_name for arch in parse_program(source).architectures]
+
+
+def expand_jobs(
+    paths: Sequence[str],
+    all_entities: bool = False,
+    cache: Optional[ArtifactCache] = None,
+) -> List[BatchJob]:
+    """Turn file paths into jobs, optionally one per entity in each file.
+
+    With ``all_entities`` a file that cannot be read or parsed still yields a
+    single job for it, so the error surfaces as that job's outcome instead of
+    aborting the whole batch.  ``cache`` optionally receives the parse
+    artefacts produced during expansion (under their pipeline stage keys), so
+    an in-process batch run over the same cache does not parse each file a
+    second time.
+    """
+    jobs: List[BatchJob] = []
+    for path in paths:
+        if not all_entities:
+            jobs.append(BatchJob(path=path))
+            continue
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+            program = parse_program(source)
+        except _JOB_ERRORS:
+            jobs.append(BatchJob(path=path))
+            continue
+        if cache is not None:
+            cache.put(
+                stage_key(PARSE, source_digest(source), AnalysisOptions()), program
+            )
+        names = [arch.entity_name for arch in program.architectures]
+        if names:
+            jobs.extend(BatchJob(path=path, entity=name) for name in names)
+        else:
+            jobs.append(BatchJob(path=path))
+    return jobs
+
+
+def run_job(
+    job: BatchJob,
+    options: AnalysisOptions,
+    collapse: bool = False,
+    self_loops: bool = False,
+    dot: bool = False,
+    pipeline: Optional[Pipeline] = None,
+) -> BatchItem:
+    """Analyse one job and render its output; errors become the outcome."""
+    if pipeline is None:
+        pipeline = Pipeline()
+    started = time.perf_counter()
+    try:
+        source = Path(job.path).read_text(encoding="utf-8")
+        if job.entity is not None:
+            options = dataclasses.replace(options, entity=job.entity)
+        run = pipeline.run(source, options)
+        graph = select_graph(run.result, collapse, self_loops)
+        text = render_analysis_text(
+            run.result, collapse=collapse, self_loops=self_loops, dot=dot, graph=graph
+        )
+        data = analysis_json(
+            run, collapse=collapse, self_loops=self_loops, graph=graph
+        )
+        return BatchItem(
+            job=job,
+            ok=True,
+            text=text,
+            data=data,
+            seconds=time.perf_counter() - started,
+        )
+    except _JOB_ERRORS as error:
+        return BatchItem(
+            job=job,
+            ok=False,
+            error=str(error),
+            seconds=time.perf_counter() - started,
+        )
+
+
+# Each pool worker keeps one pipeline (and its artifact cache) alive for the
+# jobs it serves; repeated files within one batch hit the worker's cache.
+_WORKER_PIPELINE: Optional[Pipeline] = None
+
+
+def _init_worker() -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = Pipeline(ArtifactCache())
+
+
+def _run_job_in_worker(payload) -> BatchItem:
+    job, options, collapse, self_loops, dot = payload
+    return run_job(
+        job,
+        options,
+        collapse=collapse,
+        self_loops=self_loops,
+        dot=dot,
+        pipeline=_WORKER_PIPELINE,
+    )
+
+
+def default_workers() -> int:
+    """The default pool size: one worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+def run_batch(
+    jobs: Iterable[BatchJob],
+    options: Optional[AnalysisOptions] = None,
+    *,
+    collapse: bool = False,
+    self_loops: bool = False,
+    dot: bool = False,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> BatchReport:
+    """Analyse every job; results come back in submission order.
+
+    ``parallel=True`` fans out over a process pool (``max_workers`` defaults
+    to the CPU count; caches are then per worker process and ``cache`` is
+    ignored).  ``parallel=False`` runs in-process, threading ``cache``
+    through every job — run two batches over the same cache and the second
+    one is served from warm artifacts.
+    """
+    if options is None:
+        options = AnalysisOptions()
+    job_list = list(jobs)
+    report = BatchReport(parallel=parallel)
+    started = time.perf_counter()
+
+    if parallel:
+        workers = max_workers if max_workers is not None else default_workers()
+        workers = max(1, min(workers, len(job_list) or 1))
+        report.workers = workers
+        payloads = [
+            (job, options, collapse, self_loops, dot) for job in job_list
+        ]
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker
+        ) as executor:
+            futures = [
+                executor.submit(_run_job_in_worker, payload)
+                for payload in payloads
+            ]
+            report.items = [future.result() for future in futures]
+    else:
+        report.workers = 1
+        pipeline = Pipeline(cache)
+        report.items = [
+            run_job(
+                job,
+                options,
+                collapse=collapse,
+                self_loops=self_loops,
+                dot=dot,
+                pipeline=pipeline,
+            )
+            for job in job_list
+        ]
+
+    report.elapsed = time.perf_counter() - started
+    return report

@@ -1,0 +1,70 @@
+"""Content-addressed artifact cache for the staged pipeline.
+
+Artifacts are keyed by ``stage name + source hash + entity + the analysis
+options that stage depends on`` (see ``stage_key`` in
+:mod:`repro.pipeline.stages`): the same source text analysed with the same
+options hits the same entries no matter which path produced them, and any
+change to the source or the options changes the key.  The cache is in-memory
+and per-process — a server keeps one per worker; the batch driver's pool
+initialiser installs one per pool process — and it counts hits and misses so
+tests and ``--json`` output can assert cache behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional
+
+
+def source_digest(source: str) -> str:
+    """The content address of one design source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A bounded in-memory store of pipeline artifacts with hit/miss counters.
+
+    ``max_entries`` bounds memory use under sustained traffic: when the cache
+    is full, the least recently *stored* entries are evicted first (plain FIFO
+    — artifact recomputation is cheap enough that LRU bookkeeping on every
+    get is not worth it).
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: Dict[str, Any] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached artifact for ``key``, counting a hit or a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store one artifact, evicting the oldest entries when full."""
+        if key not in self._entries and len(self._entries) >= self._max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reports and tests."""
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,117 @@
+"""Render pipeline results as the CLI's text and ``--json`` documents.
+
+Both the ``vhdl-ifa analyze`` command and the batch driver go through
+:func:`render_analysis_text`, so a batch run's per-file output is
+byte-identical to the sequential command by construction.  The JSON builders
+return plain dicts (stable key order, only JSON-native types), shared by
+``--json`` on ``analyze``/``check``/``batch``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.pipeline.artifacts import AnalysisResult, PipelineResult
+
+
+def select_graph(result: AnalysisResult, collapse: bool, self_loops: bool):
+    """Apply the CLI's graph-shaping flags (shared by analyze/kemmerer/batch)."""
+    graph = result.graph if self_loops else result.graph.without_self_loops()
+    if collapse:
+        graph = graph.collapse_environment_nodes()
+    return graph
+
+
+def render_adjacency(graph: Any) -> List[str]:
+    """The CLI's adjacency-list rendering, one line per node."""
+    return [
+        f"  {node} -> {', '.join(successors) if successors else '(none)'}"
+        for node, successors in graph.to_adjacency().items()
+    ]
+
+
+def render_analysis_text(
+    result: AnalysisResult,
+    collapse: bool = False,
+    self_loops: bool = False,
+    dot: bool = False,
+    graph: Optional[Any] = None,
+) -> str:
+    """Exactly what ``vhdl-ifa analyze`` prints for one design.
+
+    ``graph`` optionally supplies an already-shaped graph (the result of
+    :func:`select_graph` with the same flags), so callers rendering both text
+    and JSON shape it only once.
+    """
+    if graph is None:
+        graph = select_graph(result, collapse, self_loops)
+    lines = [result.summary()]
+    if dot:
+        lines.append(graph.to_dot())
+    else:
+        lines.extend(render_adjacency(graph))
+    return "\n".join(lines)
+
+
+def _round_timings(pipeline: PipelineResult) -> Dict[str, float]:
+    return {name: round(seconds, 6) for name, seconds in pipeline.timings.items()}
+
+
+def analysis_json(
+    pipeline: PipelineResult,
+    collapse: bool = False,
+    self_loops: bool = False,
+    file: Optional[str] = None,
+    graph: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """The machine-readable summary of one analysis run.
+
+    Contains the design inventory, the (flag-shaped) adjacency, per-stage
+    wall-clock timings and which stages were served from the artifact cache.
+    ``graph`` optionally supplies an already-shaped graph, as in
+    :func:`render_analysis_text`.
+    """
+    result = pipeline.result
+    if graph is None:
+        graph = select_graph(result, collapse, self_loops)
+    cfg_stats = result.program_cfg.summary()
+    document: Dict[str, Any] = {}
+    if file is not None:
+        document["file"] = file
+    document.update(
+        {
+            "design": result.design.name,
+            "options": {
+                "entity": pipeline.options.entity,
+                "improved": pipeline.options.improved,
+                "loop_processes": pipeline.options.loop_processes,
+                "use_under_approximation": pipeline.options.use_under_approximation,
+            },
+            "summary": {
+                **cfg_stats,
+                "local_entries": len(result.rm_local),
+                "global_entries": len(result.rm_global),
+                "nodes": graph.node_count(),
+                "edges": graph.edge_count(),
+            },
+            "graph": {
+                "collapse": collapse,
+                "self_loops": self_loops,
+                "adjacency": graph.to_adjacency(),
+            },
+            "timings": _round_timings(pipeline),
+            "cached_stages": pipeline.cached_stages,
+        }
+    )
+    return document
+
+
+def report_json(pipeline: PipelineResult, file: Optional[str] = None) -> Dict[str, Any]:
+    """The machine-readable form of a ``check`` run (analysis + verdict)."""
+    document: Dict[str, Any] = {}
+    if file is not None:
+        document["file"] = file
+    document.update(pipeline.report.to_json_dict())
+    document["timings"] = _round_timings(pipeline)
+    document["cached_stages"] = pipeline.cached_stages
+    return document

@@ -1,0 +1,410 @@
+"""The staged analysis pipeline.
+
+A full Information Flow analysis decomposes into named stages, run in order:
+
+========== =====================================================
+stage      artefact
+========== =====================================================
+parse      the VHDL1 AST (:func:`repro.vhdl.parser.parse_program`)
+elaborate  the :class:`~repro.vhdl.elaborate.Design`
+cfg        the :class:`~repro.cfg.builder.ProgramCFG`
+active     the per-process active-signals results (Table 4)
+reaching   the whole-program Reaching Definitions (Table 5)
+local      the local Resource Matrix ``RM_lo`` (Table 6)
+specialize the specialised RD results ``RD†``/``RD†ϕ`` (Table 7)
+closure    the closed matrix ``RM_gl`` (Table 8, optionally Table 9)
+flow_graph the information-flow graph
+report     the covert-channel report (only when a policy is given)
+========== =====================================================
+
+Each stage is individually invokable (``Pipeline.run(..., until="cfg")``
+stops after the CFG; ``PipelineResult.artifacts`` exposes every intermediate
+artefact), wall-clock timed (``PipelineResult.timings``), and backed by a
+content-addressed :class:`~repro.pipeline.cache.ArtifactCache` keyed by
+source hash + entity + the analysis options the stage depends on — so
+repeated runs of the same design skip straight to the cached artefacts
+(``PipelineResult.cached_stages`` says which).
+
+Universe discipline: stages from ``local`` onward intern resource names into
+the run's :class:`~repro.dataflow.universe.FactUniverse`.  Their cached
+artefacts are stored *together with* the universe they were built in and a
+cache hit adopts that universe, keeping bitset-encoded artefacts and universe
+consistent.  When a caller pins an explicit ``universe=`` (to pool several
+runs), those stages bypass the cache — a cached matrix from another universe
+would not be poolable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.closure import global_resource_matrix
+from repro.analysis.flowgraph import FlowGraph
+from repro.analysis.improved import improved_global_resource_matrix
+from repro.analysis.kemmerer import kemmerer_analysis
+from repro.analysis.local_deps import local_resource_matrix
+from repro.analysis.reaching_active import analyze_all_active_signals
+from repro.analysis.reaching_defs import analyze_reaching_definitions
+from repro.analysis.specialize import specialize
+from repro.cfg.builder import build_cfg
+from repro.dataflow.universe import FactUniverse
+from repro.errors import AnalysisError
+from repro.pipeline.artifacts import (
+    AnalysisOptions,
+    AnalysisResult,
+    PipelineResult,
+    StageTiming,
+)
+from repro.pipeline.cache import ArtifactCache, source_digest
+from repro.vhdl.elaborate import Design, elaborate
+from repro.vhdl.parser import parse_program
+
+
+@dataclass
+class PipelineContext:
+    """The mutable artefact store one pipeline run threads through its stages."""
+
+    options: AnalysisOptions
+    universe: FactUniverse
+    universe_pinned: bool = False
+    universe_locked: bool = False
+    """True once a universe-bound artefact exists: the run's universe is fixed."""
+    source: Optional[str] = None
+    source_key: Optional[str] = None
+    program: Optional[Any] = None
+    design: Optional[Design] = None
+    program_cfg: Optional[Any] = None
+    active: Optional[Any] = None
+    reaching: Optional[Any] = None
+    rm_local: Optional[Any] = None
+    specialized: Optional[Any] = None
+    closure: Optional[Any] = None
+    graph: Optional[FlowGraph] = None
+    kemmerer: Optional[Any] = None
+    analysis: Optional[AnalysisResult] = None
+    policy: Optional[Any] = None
+    report_options: Dict[str, Any] = field(default_factory=dict)
+    report: Optional[Any] = None
+    stages: List[StageTiming] = field(default_factory=list)
+
+
+def _run_parse(ctx: PipelineContext) -> Any:
+    return parse_program(ctx.source)
+
+
+def _run_elaborate(ctx: PipelineContext) -> Design:
+    return elaborate(ctx.program, ctx.options.entity)
+
+
+def _run_cfg(ctx: PipelineContext) -> Any:
+    return build_cfg(ctx.design, loop_processes=ctx.options.loop_processes)
+
+
+def _run_active(ctx: PipelineContext) -> Any:
+    return analyze_all_active_signals(ctx.program_cfg.processes)
+
+
+def _run_reaching(ctx: PipelineContext) -> Any:
+    return analyze_reaching_definitions(
+        ctx.program_cfg,
+        ctx.active,
+        use_under_approximation=ctx.options.use_under_approximation,
+    )
+
+
+def _run_local(ctx: PipelineContext) -> Any:
+    return local_resource_matrix(ctx.program_cfg, universe=ctx.universe)
+
+
+def _run_specialize(ctx: PipelineContext) -> Any:
+    return specialize(ctx.program_cfg, ctx.rm_local, ctx.active, ctx.reaching)
+
+
+def _run_closure(ctx: PipelineContext) -> Any:
+    if ctx.options.improved:
+        return improved_global_resource_matrix(
+            ctx.program_cfg, ctx.rm_local, ctx.specialized, ctx.design
+        )
+    return global_resource_matrix(ctx.program_cfg, ctx.rm_local, ctx.specialized)
+
+
+def _run_flow_graph(ctx: PipelineContext) -> FlowGraph:
+    return FlowGraph.from_resource_matrix(ctx.closure.rm_global)
+
+
+def _run_kemmerer(ctx: PipelineContext) -> Any:
+    return kemmerer_analysis(ctx.program_cfg, universe=ctx.universe)
+
+
+def _run_report(ctx: PipelineContext) -> Any:
+    # Imported lazily: repro.security.report imports repro.analysis.api,
+    # which itself imports this package.
+    from repro.security.report import build_report
+
+    return build_report(ctx.analysis, ctx.policy, **ctx.report_options)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named pipeline step.
+
+    ``option_fields`` lists the :class:`AnalysisOptions` fields the stage's
+    artefact depends on — they (with the source hash and the stage name) form
+    the cache key.  ``universe_bound`` marks artefacts encoded against the
+    session universe; they are cached together with it.
+    """
+
+    name: str
+    attr: str
+    run: Callable[[PipelineContext], Any]
+    option_fields: Tuple[str, ...] = ()
+    universe_bound: bool = False
+    cacheable: bool = True
+
+
+_ENTITY = ("entity",)
+_SHAPE = ("entity", "loop_processes")
+_RD = ("entity", "loop_processes", "use_under_approximation")
+_ALL = ("entity", "loop_processes", "use_under_approximation", "improved")
+
+PARSE = Stage("parse", "program", _run_parse)
+ELABORATE = Stage("elaborate", "design", _run_elaborate, _ENTITY)
+CFG = Stage("cfg", "program_cfg", _run_cfg, _SHAPE)
+ACTIVE = Stage("active", "active", _run_active, _SHAPE)
+REACHING = Stage("reaching", "reaching", _run_reaching, _RD)
+LOCAL = Stage("local", "rm_local", _run_local, _SHAPE, universe_bound=True)
+SPECIALIZE = Stage("specialize", "specialized", _run_specialize, _RD, universe_bound=True)
+CLOSURE = Stage("closure", "closure", _run_closure, _ALL, universe_bound=True)
+FLOW_GRAPH = Stage("flow_graph", "graph", _run_flow_graph, _ALL, universe_bound=True)
+KEMMERER = Stage("kemmerer", "kemmerer", _run_kemmerer, _SHAPE, universe_bound=True)
+REPORT = Stage("report", "report", _run_report, cacheable=False)
+
+#: The full analysis, source to flow graph (plus the optional report).
+ANALYSIS_STAGES: Tuple[Stage, ...] = (
+    PARSE,
+    ELABORATE,
+    CFG,
+    ACTIVE,
+    REACHING,
+    LOCAL,
+    SPECIALIZE,
+    CLOSURE,
+    FLOW_GRAPH,
+    REPORT,
+)
+
+#: Kemmerer's baseline shares the frontend stages.
+KEMMERER_STAGES: Tuple[Stage, ...] = (PARSE, ELABORATE, CFG, KEMMERER)
+
+STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in ANALYSIS_STAGES)
+
+
+def stage_key(stage: Stage, source_key: str, options: AnalysisOptions) -> str:
+    """The content address of one stage artefact."""
+    parts = [stage.name, source_key]
+    parts.extend(
+        f"{name}={getattr(options, name)!r}" for name in stage.option_fields
+    )
+    return ":".join(parts)
+
+
+class Pipeline:
+    """Runs the staged analysis, optionally over a shared artifact cache.
+
+    One :class:`Pipeline` can serve many runs; pass an
+    :class:`~repro.pipeline.cache.ArtifactCache` to reuse artefacts across
+    them.  Without a cache every run computes everything (this is what the
+    thin :func:`repro.analysis.api.analyze` wrappers do, preserving their
+    one-universe-per-call semantics).
+    """
+
+    def __init__(self, cache: Optional[ArtifactCache] = None):
+        self.cache = cache
+
+    # ------------------------------------------------------------- entry points
+
+    def run(
+        self,
+        source: str,
+        options: Optional[AnalysisOptions] = None,
+        *,
+        universe: Optional[FactUniverse] = None,
+        until: Optional[str] = None,
+        policy: Optional[Any] = None,
+        report_options: Optional[Dict[str, Any]] = None,
+    ) -> PipelineResult:
+        """Analyse VHDL1 source text, stage by stage.
+
+        ``until`` names the last stage to run (``"cfg"`` stops after the CFG
+        is built).  ``policy`` enables the final ``report`` stage;
+        ``report_options`` passes keyword arguments through to
+        :func:`repro.security.report.build_report`.
+        """
+        ctx = self._context(options, universe)
+        ctx.source = source
+        ctx.source_key = source_digest(source)
+        self._set_policy(ctx, policy, report_options)
+        return self._execute(ctx, ANALYSIS_STAGES, until)
+
+    def run_design(
+        self,
+        design: Design,
+        options: Optional[AnalysisOptions] = None,
+        *,
+        universe: Optional[FactUniverse] = None,
+        until: Optional[str] = None,
+        policy: Optional[Any] = None,
+        report_options: Optional[Dict[str, Any]] = None,
+    ) -> PipelineResult:
+        """Analyse an already-elaborated design (frontend stages skipped).
+
+        Without source text there is no content address, so these runs do not
+        touch the artifact cache.
+        """
+        ctx = self._context(options, universe)
+        ctx.design = design
+        self._set_policy(ctx, policy, report_options)
+        return self._execute(ctx, ANALYSIS_STAGES[2:], until)
+
+    def run_kemmerer(
+        self,
+        source: str,
+        options: Optional[AnalysisOptions] = None,
+        *,
+        universe: Optional[FactUniverse] = None,
+    ) -> PipelineResult:
+        """Run Kemmerer's baseline (parse → elaborate → cfg → kemmerer)."""
+        ctx = self._context(options, universe)
+        ctx.source = source
+        ctx.source_key = source_digest(source)
+        return self._execute(ctx, KEMMERER_STAGES, None)
+
+    def run_kemmerer_design(
+        self,
+        design: Design,
+        options: Optional[AnalysisOptions] = None,
+        *,
+        universe: Optional[FactUniverse] = None,
+    ) -> PipelineResult:
+        """Kemmerer's baseline on an already-elaborated design."""
+        ctx = self._context(options, universe)
+        ctx.design = design
+        return self._execute(ctx, KEMMERER_STAGES[2:], None)
+
+    # ---------------------------------------------------------------- internals
+
+    @staticmethod
+    def _context(
+        options: Optional[AnalysisOptions], universe: Optional[FactUniverse]
+    ) -> PipelineContext:
+        return PipelineContext(
+            options=options if options is not None else AnalysisOptions(),
+            universe=universe if universe is not None else FactUniverse(),
+            universe_pinned=universe is not None,
+        )
+
+    @staticmethod
+    def _set_policy(
+        ctx: PipelineContext,
+        policy: Optional[Any],
+        report_options: Optional[Dict[str, Any]],
+    ) -> None:
+        ctx.policy = policy
+        ctx.report_options = dict(report_options or {})
+
+    def _execute(
+        self,
+        ctx: PipelineContext,
+        stages: Sequence[Stage],
+        until: Optional[str],
+    ) -> PipelineResult:
+        plan = list(stages)
+        if until is not None:
+            names = [stage.name for stage in plan]
+            if until not in names:
+                raise AnalysisError(
+                    f"unknown pipeline stage {until!r}; expected one of "
+                    + ", ".join(names)
+                )
+            plan = plan[: names.index(until) + 1]
+        if ctx.policy is None and plan and plan[-1] is REPORT:
+            plan = plan[:-1]
+
+        for stage in plan:
+            self._run_stage(ctx, stage)
+            if stage is FLOW_GRAPH:
+                ctx.analysis = self._assemble(ctx)
+
+        return PipelineResult(
+            options=ctx.options,
+            stages=ctx.stages,
+            result=ctx.analysis,
+            kemmerer=ctx.kemmerer,
+            report=ctx.report,
+            artifacts=ctx,
+        )
+
+    def _run_stage(self, ctx: PipelineContext, stage: Stage) -> None:
+        key = None
+        if (
+            self.cache is not None
+            and stage.cacheable
+            and ctx.source_key is not None
+            and not (stage.universe_bound and ctx.universe_pinned)
+        ):
+            key = stage_key(stage, ctx.source_key, ctx.options)
+            cached = self.cache.get(key)
+            if cached is not None and stage.universe_bound:
+                # All universe-bound artefacts of one run must share one
+                # universe.  Once the run's universe is fixed (an earlier
+                # universe-bound stage computed fresh, or adopted a cached
+                # universe), a surviving entry built against a *different*
+                # universe — possible after partial eviction — is unusable
+                # here: using it would assemble a mixed-universe result.
+                _, cached_universe = cached
+                if ctx.universe_locked and cached_universe is not ctx.universe:
+                    cached = None
+                    self.cache.hits -= 1
+                    self.cache.misses += 1
+            if cached is not None:
+                started = time.perf_counter()
+                if stage.universe_bound:
+                    artifact, universe = cached
+                    ctx.universe = universe
+                    ctx.universe_locked = True
+                else:
+                    artifact = cached
+                setattr(ctx, stage.attr, artifact)
+                ctx.stages.append(
+                    StageTiming(stage.name, time.perf_counter() - started, cached=True)
+                )
+                return
+
+        started = time.perf_counter()
+        artifact = stage.run(ctx)
+        elapsed = time.perf_counter() - started
+        setattr(ctx, stage.attr, artifact)
+        if stage.universe_bound:
+            ctx.universe_locked = True
+        if key is not None:
+            value = (artifact, ctx.universe) if stage.universe_bound else artifact
+            self.cache.put(key, value)
+        ctx.stages.append(StageTiming(stage.name, elapsed, cached=False))
+
+    @staticmethod
+    def _assemble(ctx: PipelineContext) -> AnalysisResult:
+        return AnalysisResult(
+            design=ctx.design,
+            program_cfg=ctx.program_cfg,
+            active=ctx.active,
+            reaching=ctx.reaching,
+            rm_local=ctx.rm_local,
+            specialized=ctx.specialized,
+            rm_global=ctx.closure.rm_global,
+            graph=ctx.graph,
+            improved=ctx.options.improved,
+            outgoing_labels=getattr(ctx.closure, "outgoing_labels", {}),
+            universe=ctx.universe,
+        )

@@ -8,7 +8,7 @@ flow into an output, the set of inputs it may depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.analysis.api import AnalysisResult
 from repro.analysis.resource_matrix import base_resource, incoming_node, outgoing_node
@@ -51,6 +51,32 @@ class CovertChannelReport:
             for violation in self.violations:
                 lines.append(f"  - {violation.describe()}")
         return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The report as a JSON-native dict (the CLI's ``check --json`` body)."""
+        return {
+            "design": self.design_name,
+            "clean": self.is_clean,
+            "violations": [
+                {
+                    "source": violation.source,
+                    "target": violation.target,
+                    "source_level": str(violation.source_level),
+                    "target_level": str(violation.target_level),
+                    "path": list(violation.path),
+                    "description": violation.describe(),
+                }
+                for violation in self.violations
+            ],
+            "output_dependencies": {
+                output: list(inputs)
+                for output, inputs in sorted(self.output_dependencies.items())
+            },
+            "summary": {
+                "nodes": self.node_count,
+                "edges": self.edge_count,
+            },
+        }
 
 
 def output_dependencies(result: AnalysisResult) -> Dict[str, List[str]]:
@@ -137,3 +163,34 @@ def build_report(
         node_count=result.graph.node_count(),
         edge_count=result.graph.edge_count(),
     )
+
+
+def check_source(
+    source: str,
+    policy: FlowPolicy,
+    *,
+    entity: Optional[str] = None,
+    improved: bool = True,
+    loop_processes: bool = True,
+    cache: Optional[Any] = None,
+    **report_options: Any,
+) -> CovertChannelReport:
+    """Analyse source text through the staged pipeline and report on it.
+
+    This is the one-call service entry point: it runs the pipeline's
+    ``report`` stage (so repeated checks of the same design can share an
+    :class:`repro.pipeline.ArtifactCache` via ``cache``) and returns the
+    finished report.  ``report_options`` are passed to :func:`build_report`.
+    """
+    # Imported here: repro.pipeline.stages lazily imports this module for its
+    # report stage, so a module-level import would be circular.
+    from repro.pipeline.artifacts import AnalysisOptions
+    from repro.pipeline.stages import Pipeline
+
+    options = AnalysisOptions(
+        entity=entity, improved=improved, loop_processes=loop_processes
+    )
+    run = Pipeline(cache).run(
+        source, options, policy=policy, report_options=dict(report_options)
+    )
+    return run.report

@@ -161,18 +161,28 @@ class Simulator:
             return StdLogicVector.from_string(value)
         raise SimulationError(f"cannot drive {name!r} with {value!r}")
 
-    def drive(self, name: str, value: Driveable) -> None:
-        """Schedule an environment-driven value for an ``in`` port.
+    def validate_drive(self, name: str, value: Driveable) -> Value:
+        """Check a stimulus without scheduling it; returns the coerced value.
 
-        The value becomes visible after the next synchronisation, like the
-        assignments of the paper's environment process ``π``.
+        Raises :class:`SimulationError` for an unknown signal, a non-input
+        port or a value that cannot be coerced to the port's type — letting
+        callers validate a whole stimulus set up front, before any simulation
+        work is done.
         """
         if name not in self._design.signals:
             raise SimulationError(f"unknown signal {name!r}")
         info = self._design.signals[name]
         if not info.is_input:
             raise SimulationError(f"signal {name!r} is not an input port")
-        self._env_active[name] = self._coerce(name, value)
+        return self._coerce(name, value)
+
+    def drive(self, name: str, value: Driveable) -> None:
+        """Schedule an environment-driven value for an ``in`` port.
+
+        The value becomes visible after the next synchronisation, like the
+        assignments of the paper's environment process ``π``.
+        """
+        self._env_active[name] = self.validate_drive(name, value)
 
     def force_present(self, name: str, value: Driveable) -> None:
         """Directly overwrite a signal's present value in every process.

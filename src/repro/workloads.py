@@ -8,12 +8,15 @@ The module collects, as VHDL1 source text:
 * a small two-process producer/consumer design exercising the cross-process
   rules;
 * a synthetic program family of configurable size for the scaling benchmark
-  (E5 in DESIGN.md).
+  (E5 in DESIGN.md);
+* a multi-entity batch family (many chain designs in one source file, or the
+  full roster of named workloads) for the batch driver and its throughput
+  benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 
 def paper_program_a() -> str:
@@ -152,7 +155,7 @@ end mux;
 
 
 def synthetic_chain_program(
-    processes: int = 2, assignments_per_process: int = 8
+    processes: int = 2, assignments_per_process: int = 8, name: str = "chain"
 ) -> str:
     """A synthetic program family for the scaling benchmark (E5).
 
@@ -161,6 +164,8 @@ def synthetic_chain_program(
     ``assignments_per_process`` chained temporary variables before driving the
     next stage.  The program size grows linearly in both parameters, so the
     measured analysis time exposes the super-linear behaviour of the closure.
+    ``name`` names the generated entity, so several chains can share one
+    source file (see :func:`multi_entity_program`).
     """
     if processes < 1:
         raise ValueError("need at least one process")
@@ -168,12 +173,12 @@ def synthetic_chain_program(
         raise ValueError("need at least one assignment per process")
 
     lines: List[str] = [
-        "entity chain is",
+        f"entity {name} is",
         "  port( chain_in  : in std_logic_vector(7 downto 0);",
         "        chain_out : out std_logic_vector(7 downto 0) );",
-        "end chain;",
+        f"end {name};",
         "",
-        "architecture generated of chain is",
+        f"architecture generated of {name} is",
     ]
     for stage in range(processes - 1):
         lines.append(f"  signal stage_{stage} : std_logic_vector(7 downto 0);")
@@ -264,3 +269,43 @@ begin
   end process p;
 end behav;
 """
+
+
+def multi_entity_program(
+    entities: int = 4, processes: int = 2, assignments_per_process: int = 8
+) -> str:
+    """One source file holding ``entities`` independent chain designs.
+
+    The entities are named ``chain_0 … chain_{k-1}``; each is a full
+    :func:`synthetic_chain_program` instance.  This is the batch driver's
+    ``--all-entities`` workload: a single file that expands into many
+    analysis jobs.
+    """
+    if entities < 1:
+        raise ValueError("need at least one entity")
+    return "\n".join(
+        synthetic_chain_program(
+            processes, assignments_per_process, name=f"chain_{index}"
+        )
+        for index in range(entities)
+    )
+
+
+def batch_workload_sources() -> List[Tuple[str, str]]:
+    """The full roster of named workloads, as ``(name, source)`` pairs.
+
+    Eight designs covering every analysis feature (straight-line programs,
+    overwritten secrets, cross-process synchronisation, implicit flows,
+    loops, and a synthetic chain): the canonical input set for batch-driver
+    tests and the batch-throughput benchmark.
+    """
+    return [
+        ("paper_program_a", paper_program_a()),
+        ("paper_program_b", paper_program_b()),
+        ("challenge_f", challenge_f_program()),
+        ("producer_consumer", producer_consumer_program()),
+        ("conditional", conditional_program()),
+        ("two_phase", two_phase_program()),
+        ("overwriting_loop", overwriting_loop_program()),
+        ("synthetic_chain", synthetic_chain_program(2, 8)),
+    ]

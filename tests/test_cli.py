@@ -1,10 +1,13 @@
 """Tests for the ``vhdl-ifa`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro import workloads
 from repro.aes.generator import shift_rows_paper_source
+from repro.semantics.simulator import Simulator
 
 
 @pytest.fixture
@@ -51,6 +54,32 @@ class TestKemmererCommand:
     def test_kemmerer_output(self, design_file, capsys):
         assert main(["kemmerer", design_file]) == 0
         assert "Kemmerer" in capsys.readouterr().out
+
+    @pytest.fixture
+    def loop_file(self, tmp_path):
+        path = tmp_path / "loop.vhd"
+        path.write_text(workloads.overwriting_loop_program(), encoding="utf-8")
+        return str(path)
+
+    def test_self_loops_flag_parity(self, loop_file, capsys):
+        # default drops trivial self loops, exactly like `analyze` ...
+        assert main(["kemmerer", loop_file]) == 0
+        assert "acc -> done" in capsys.readouterr().out
+        # ... and --self-loops keeps them
+        assert main(["kemmerer", loop_file, "--self-loops"]) == 0
+        assert "acc -> acc, done" in capsys.readouterr().out
+
+    def test_collapse_flag_parity(self, loop_file, capsys):
+        assert main(["kemmerer", loop_file]) == 0
+        default = capsys.readouterr().out
+        # Kemmerer's graph has no environment nodes, so collapsing is the
+        # identity — but the flag must be accepted, like `analyze`'s.
+        assert main(["kemmerer", loop_file, "--collapse"]) == 0
+        assert capsys.readouterr().out == default
+
+    def test_dot_with_flags(self, loop_file, capsys):
+        assert main(["kemmerer", loop_file, "--self-loops", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
 
 
 class TestCheckCommand:
@@ -133,6 +162,134 @@ class TestSimulateCommand:
         assert main(["simulate", producer_file, "--set", "oops"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_malformed_set_fails_before_any_simulation(
+        self, producer_file, capsys, monkeypatch
+    ):
+        # A bad setting in last position must fail *before* the first
+        # simulator.run(), not after a full simulation.
+        def explode(self, *args, **kwargs):
+            raise AssertionError("simulator ran before --set validation")
+
+        monkeypatch.setattr(Simulator, "run", explode)
+        assert (
+            main(["simulate", producer_file, "--set", "left=1100", "--set", "oops"])
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_port_fails_before_any_simulation(
+        self, producer_file, capsys, monkeypatch
+    ):
+        def explode(self, *args, **kwargs):
+            raise AssertionError("simulator ran before --set validation")
+
+        monkeypatch.setattr(Simulator, "run", explode)
+        assert main(["simulate", producer_file, "--set", "nosuch=1"]) == 2
+        assert "unknown signal" in capsys.readouterr().err
+
+    def test_non_input_port_is_rejected(self, producer_file, capsys):
+        assert main(["simulate", producer_file, "--set", "result=0000"]) == 2
+        assert "not an input port" in capsys.readouterr().err
+
+
+@pytest.fixture
+def workload_files(tmp_path):
+    paths = []
+    for name, source in workloads.batch_workload_sources():
+        path = tmp_path / f"{name}.vhd"
+        path.write_text(source, encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+class TestBatchCommand:
+    def _expected_output(self, paths, capsys, extra_flags=()):
+        """What batch stdout must look like: per-file `analyze` output."""
+        chunks = []
+        for path in paths:
+            assert main(["analyze", path, *extra_flags]) == 0
+            chunks.append(f"== {path} ==\n" + capsys.readouterr().out)
+        return "".join(chunks)
+
+    @pytest.mark.parametrize("mode_flags", [["--sequential"], ["--jobs", "2"]])
+    def test_per_file_output_is_byte_identical_to_analyze(
+        self, workload_files, capsys, mode_flags
+    ):
+        assert len(workload_files) >= 8
+        expected = self._expected_output(workload_files, capsys)
+        assert main(["batch", *workload_files, *mode_flags]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_flags_are_forwarded_to_every_job(self, workload_files, capsys):
+        flags = ["--basic", "--straight-line", "--self-loops"]
+        expected = self._expected_output(workload_files[:3], capsys, flags)
+        assert main(["batch", *workload_files[:3], "--sequential", *flags]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_all_entities(self, tmp_path, capsys):
+        path = tmp_path / "multi.vhd"
+        path.write_text(workloads.multi_entity_program(3, 2, 4), encoding="utf-8")
+        assert main(["batch", str(path), "--all-entities", "--sequential"]) == 0
+        out = capsys.readouterr().out
+        for entity in ("chain_0", "chain_1", "chain_2"):
+            assert f"== {path}:{entity} ==" in out
+            assert f"design '{entity}'" in out
+
+    def test_failures_exit_nonzero_but_keep_going(
+        self, workload_files, tmp_path, capsys
+    ):
+        missing = str(tmp_path / "missing.vhd")
+        assert main(["batch", workload_files[0], missing, "--sequential"]) == 2
+        captured = capsys.readouterr()
+        assert f"== {workload_files[0]} ==" in captured.out
+        assert "missing.vhd" in captured.err
+        assert "1 failed" in captured.err
+
+    def test_json_output(self, workload_files, capsys):
+        assert main(["batch", *workload_files, "--sequential", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "batch"
+        assert [job["file"] for job in document["jobs"]] == workload_files
+        assert all(job["ok"] for job in document["jobs"])
+        assert all("timings" in job for job in document["jobs"])
+
+
+class TestJsonOutput:
+    def test_analyze_json(self, design_file, capsys):
+        assert main(["analyze", design_file, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "analyze"
+        assert document["design"] == "challenge_f"
+        assert document["summary"]["processes"] == 1
+        assert set(document["timings"]) >= {"parse", "elaborate", "closure"}
+        assert document["cached_stages"] == []
+        # the adjacency must agree with the text rendering's graph
+        assert document["graph"]["adjacency"]["key"] == ["t"]
+
+    def test_check_json_clean(self, design_file, capsys):
+        assert (
+            main(
+                ["check", design_file, "--secret", "key", "--output", "leak", "--json"]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "check"
+        assert document["clean"] is True
+        assert document["violations"] == []
+        assert document["output_dependencies"]["leak"] == ["plain"]
+        assert document["policy"]["secrets"] == ["key"]
+
+    def test_check_json_violation_keeps_exit_code(self, producer_file, capsys):
+        assert main(["check", producer_file, "--secret", "left", "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["clean"] is False
+        assert any(
+            violation["source"].startswith("left")
+            for violation in document["violations"]
+        )
+        assert all("description" in violation for violation in document["violations"])
+
 
 class TestErrorHandling:
     def test_parse_errors_are_reported(self, tmp_path, capsys):
@@ -152,4 +309,11 @@ class TestErrorHandling:
 
     def test_unreadable_directory_is_reported_not_raised(self, tmp_path, capsys):
         assert main(["analyze", str(tmp_path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    @pytest.mark.parametrize("command", ["analyze", "kemmerer", "check", "simulate"])
+    def test_non_utf8_file_is_reported_not_raised(self, command, tmp_path, capsys):
+        path = tmp_path / "binary.vhd"
+        path.write_bytes(b"\xff\xfe not text")
+        assert main([command, str(path)]) == 2
         assert capsys.readouterr().err.startswith("error:")

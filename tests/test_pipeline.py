@@ -1,0 +1,337 @@
+"""Tests for the staged pipeline, its artifact cache and the batch driver."""
+
+import pytest
+
+from repro import workloads
+from repro.analysis.api import analyze, analyze_kemmerer
+from repro.dataflow.universe import FactUniverse
+from repro.errors import AnalysisError
+from repro.pipeline import (
+    STAGE_NAMES,
+    AnalysisOptions,
+    ArtifactCache,
+    BatchJob,
+    Pipeline,
+    entities_in,
+    expand_jobs,
+    render_analysis_text,
+    run_batch,
+    run_job,
+    source_digest,
+)
+from repro.security.policy import TwoLevelPolicy
+from repro.security.report import check_source
+
+ANALYSIS_STAGE_NAMES = [name for name in STAGE_NAMES if name != "report"]
+
+
+class TestPipelineStages:
+    def test_full_run_traverses_every_stage_in_order(self):
+        run = Pipeline().run(workloads.challenge_f_program())
+        assert [stage.name for stage in run.stages] == ANALYSIS_STAGE_NAMES
+        assert all(stage.seconds >= 0.0 for stage in run.stages)
+        assert not run.cached_stages
+        assert run.result is not None
+
+    def test_matches_the_legacy_api(self):
+        source = workloads.producer_consumer_program()
+        via_pipeline = Pipeline().run(source).result
+        via_api = analyze(source)
+        assert via_pipeline.summary() == via_api.summary()
+        assert (
+            via_pipeline.graph.to_adjacency() == via_api.graph.to_adjacency()
+        )
+
+    def test_until_stops_after_the_named_stage(self):
+        run = Pipeline().run(workloads.challenge_f_program(), until="cfg")
+        assert [stage.name for stage in run.stages] == ["parse", "elaborate", "cfg"]
+        assert run.result is None
+        assert run.artifacts.program_cfg is not None
+        assert run.artifacts.rm_local is None
+
+    def test_unknown_stage_is_an_error(self):
+        with pytest.raises(AnalysisError, match="unknown pipeline stage"):
+            Pipeline().run(workloads.challenge_f_program(), until="nonsense")
+
+    def test_policy_enables_the_report_stage(self):
+        run = Pipeline().run(
+            workloads.challenge_f_program(),
+            policy=TwoLevelPolicy(secret_resources=["key"]),
+            report_options={"outputs": ["leak"]},
+        )
+        assert [stage.name for stage in run.stages] == list(STAGE_NAMES)
+        assert run.report is not None and run.report.is_clean
+
+    def test_kemmerer_run_matches_the_legacy_api(self):
+        source = workloads.overwriting_loop_program()
+        via_pipeline = Pipeline().run_kemmerer(source).kemmerer
+        via_api = analyze_kemmerer(source)
+        assert via_pipeline.graph.to_adjacency() == via_api.graph.to_adjacency()
+
+    def test_options_thread_through(self):
+        source = workloads.paper_program_a()
+        options = AnalysisOptions(improved=False, loop_processes=False)
+        run = Pipeline().run(source, options)
+        assert run.result.improved is False
+        assert run.result.graph.to_adjacency() == analyze(
+            source, improved=False, loop_processes=False
+        ).graph.to_adjacency()
+
+
+class TestArtifactCache:
+    def test_second_run_hits_every_stage(self):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.producer_consumer_program()
+        cold = pipeline.run(source)
+        warm = pipeline.run(source)
+        assert not cold.cached_stages
+        assert warm.cached_stages == ANALYSIS_STAGE_NAMES
+        assert cache.hits == len(ANALYSIS_STAGE_NAMES)
+        assert render_analysis_text(warm.result) == render_analysis_text(cold.result)
+
+    def test_differing_options_miss_only_the_dependent_stages(self):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.producer_consumer_program()
+        pipeline.run(source)
+
+        basic = pipeline.run(source, AnalysisOptions(improved=False))
+        assert basic.cached_stages == [
+            "parse", "elaborate", "cfg", "active", "reaching", "local", "specialize",
+        ]
+        assert basic.computed_stages == ["closure", "flow_graph"]
+
+        straight = pipeline.run(source, AnalysisOptions(loop_processes=False))
+        assert straight.cached_stages == ["parse", "elaborate"]
+
+    def test_different_source_misses_everything(self):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        pipeline.run(workloads.producer_consumer_program())
+        other = pipeline.run(workloads.challenge_f_program())
+        assert not other.cached_stages
+
+    def test_cached_and_cold_runs_agree(self):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.two_phase_program()
+        cold = pipeline.run(source)
+        warm = pipeline.run(source)
+        fresh = Pipeline().run(source)
+        for run in (warm, fresh):
+            assert run.result.graph.to_adjacency() == cold.result.graph.to_adjacency()
+            assert run.result.summary() == cold.result.summary()
+
+    def test_pinned_universe_bypasses_universe_bound_stages(self):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.producer_consumer_program()
+        pipeline.run(source)
+
+        universe = FactUniverse()
+        pinned = pipeline.run(source, universe=universe)
+        assert pinned.cached_stages == ["parse", "elaborate", "cfg", "active", "reaching"]
+        assert pinned.result.universe is universe
+        assert pinned.result.rm_local.universe is universe
+
+    def test_adopting_the_cached_universe_keeps_artifacts_consistent(self):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.producer_consumer_program()
+        cold = pipeline.run(source)
+        warm = pipeline.run(source)
+        assert warm.result.universe is cold.result.universe
+        assert warm.result.rm_local.universe is warm.result.universe
+
+    def test_design_entry_runs_do_not_touch_the_cache(self):
+        from repro.vhdl.elaborate import elaborate_source
+
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        design = elaborate_source(workloads.challenge_f_program())
+        pipeline.run_design(design)
+        pipeline.run_design(design)
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_partial_eviction_never_mixes_universes(self):
+        # Evict one universe-bound entry ("local") while later ones
+        # ("specialize", "closure", "flow_graph") survive: the re-run must
+        # recompute the survivors rather than adopt their (now foreign)
+        # universe, so every artifact of one run shares one universe.
+        from repro.pipeline.stages import LOCAL
+
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.producer_consumer_program()
+        pipeline.run(source)
+        from repro.pipeline.stages import stage_key
+
+        del cache._entries[stage_key(LOCAL, source_digest(source), AnalysisOptions())]
+        rerun = pipeline.run(source)
+        assert "local" in rerun.computed_stages
+        assert {"specialize", "closure", "flow_graph"} <= set(rerun.computed_stages)
+        assert rerun.result.rm_local.universe is rerun.result.universe
+        assert rerun.result.rm_global.universe is rerun.result.universe
+
+    def test_eviction_keeps_the_cache_bounded(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("a") is None  # oldest entry evicted
+        assert cache.get("c") == 3
+
+    def test_source_digest_is_content_addressed(self):
+        assert source_digest("abc") == source_digest("abc")
+        assert source_digest("abc") != source_digest("abd")
+
+
+class TestApiWrapperIsolation:
+    def test_independent_analyze_calls_get_independent_universes(self):
+        source = workloads.producer_consumer_program()
+        first = analyze(source)
+        second = analyze(source)
+        assert first.universe is not second.universe
+        assert first.graph.to_adjacency() == second.graph.to_adjacency()
+
+
+class TestCheckSource:
+    def test_reports_through_the_pipeline(self):
+        report = check_source(
+            workloads.challenge_f_program(),
+            TwoLevelPolicy(secret_resources=["key"]),
+            outputs=["leak"],
+        )
+        assert report.is_clean
+        document = report.to_json_dict()
+        assert document["clean"] is True
+        assert document["output_dependencies"]["leak"] == ["plain"]
+
+    def test_shares_a_cache_across_checks(self):
+        cache = ArtifactCache()
+        source = workloads.challenge_f_program()
+        policy = TwoLevelPolicy(secret_resources=["key"])
+        check_source(source, policy, outputs=["leak"], cache=cache)
+        misses_after_first = cache.misses
+        check_source(source, policy, outputs=["leak"], cache=cache)
+        assert cache.hits == len(ANALYSIS_STAGE_NAMES)
+        assert cache.misses == misses_after_first
+
+
+@pytest.fixture
+def workload_files(tmp_path):
+    paths = []
+    for name, source in workloads.batch_workload_sources():
+        path = tmp_path / f"{name}.vhd"
+        path.write_text(source, encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+class TestBatchDriver:
+    def test_sequential_and_parallel_agree(self, workload_files):
+        assert len(workload_files) >= 8
+        jobs = expand_jobs(workload_files)
+        sequential = run_batch(jobs, parallel=False)
+        parallel = run_batch(jobs, parallel=True, max_workers=2)
+        assert sequential.ok and parallel.ok
+        assert [item.job for item in parallel.items] == jobs
+        assert [item.text for item in parallel.items] == [
+            item.text for item in sequential.items
+        ]
+
+    def test_batch_output_matches_single_runs(self, workload_files):
+        jobs = expand_jobs(workload_files)
+        batch = run_batch(jobs, parallel=False)
+        for item in batch.items:
+            source = open(item.job.path, encoding="utf-8").read()
+            single = Pipeline().run(source).result
+            assert item.text == render_analysis_text(single)
+
+    def test_errors_become_item_outcomes(self, workload_files, tmp_path):
+        broken = tmp_path / "broken.vhd"
+        broken.write_text("entity broken is", encoding="utf-8")
+        missing = str(tmp_path / "missing.vhd")
+        jobs = expand_jobs([workload_files[0], str(broken), missing])
+        report = run_batch(jobs, parallel=False)
+        assert [item.ok for item in report.items] == [True, False, False]
+        assert not report.ok and len(report.failures) == 2
+        assert all(item.error for item in report.failures)
+
+    def test_all_entities_expansion(self, tmp_path):
+        path = tmp_path / "multi.vhd"
+        path.write_text(
+            workloads.multi_entity_program(3, 2, 4), encoding="utf-8"
+        )
+        jobs = expand_jobs([str(path)], all_entities=True)
+        assert [job.entity for job in jobs] == ["chain_0", "chain_1", "chain_2"]
+        report = run_batch(jobs, parallel=False)
+        assert report.ok
+        source = path.read_text(encoding="utf-8")
+        for job, item in zip(jobs, report.items):
+            single = Pipeline().run(
+                source, AnalysisOptions(entity=job.entity)
+            ).result
+            assert item.text == render_analysis_text(single)
+            assert item.data["design"] == job.entity
+
+    def test_entities_in_lists_architecture_order(self):
+        assert entities_in(workloads.multi_entity_program(2, 2, 2)) == [
+            "chain_0",
+            "chain_1",
+        ]
+
+    def test_warm_cache_rerun_skips_expensive_stages(self, workload_files):
+        cache = ArtifactCache()
+        jobs = expand_jobs(workload_files)
+        cold = run_batch(jobs, parallel=False, cache=cache)
+        warm = run_batch(jobs, parallel=False, cache=cache)
+        assert warm.ok
+        assert [item.text for item in warm.items] == [
+            item.text for item in cold.items
+        ]
+        for item in warm.items:
+            assert {"parse", "elaborate", "closure"} <= set(
+                item.data["cached_stages"]
+            )
+        assert cache.hits >= len(jobs) * len(ANALYSIS_STAGE_NAMES)
+        cold_stage_seconds = sum(
+            sum(item.data["timings"].values()) for item in cold.items
+        )
+        warm_stage_seconds = sum(
+            sum(item.data["timings"].values()) for item in warm.items
+        )
+        assert warm_stage_seconds < cold_stage_seconds
+
+    def test_run_job_reports_missing_files(self, tmp_path):
+        item = run_job(BatchJob(path=str(tmp_path / "gone.vhd")), AnalysisOptions())
+        assert not item.ok and "gone.vhd" in item.error
+
+    def test_non_utf8_files_become_item_outcomes(self, tmp_path):
+        binary = tmp_path / "binary.vhd"
+        binary.write_bytes(b"\xff\xfe not text")
+        item = run_job(BatchJob(path=str(binary)), AnalysisOptions())
+        assert not item.ok and item.error
+        # ... in --all-entities expansion too, instead of crashing it
+        jobs = expand_jobs([str(binary)], all_entities=True)
+        assert jobs == [BatchJob(path=str(binary))]
+
+    def test_expansion_seeds_the_parse_cache(self, tmp_path):
+        path = tmp_path / "multi.vhd"
+        path.write_text(workloads.multi_entity_program(3, 2, 4), encoding="utf-8")
+        cache = ArtifactCache()
+        jobs = expand_jobs([str(path)], all_entities=True, cache=cache)
+        report = run_batch(jobs, parallel=False, cache=cache)
+        assert report.ok
+        # every job reuses the parse from expansion: the file is parsed once
+        assert all("parse" in item.data["cached_stages"] for item in report.items)
+
+    def test_json_document_shape(self, workload_files):
+        report = run_batch(expand_jobs(workload_files[:2]), parallel=False)
+        document = report.to_json_dict()
+        assert document["command"] == "batch"
+        assert document["failed"] == 0
+        assert [job["file"] for job in document["jobs"]] == workload_files[:2]
+        assert all("timings" in job and "summary" in job for job in document["jobs"])
