@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench check examples
+.PHONY: test bench check docs examples
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -14,6 +14,10 @@ bench:
 check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/run_benchmarks.py --compare BENCH_scaling.json
+
+# Docs gate: internal links resolve and docs/cli.md matches cli.py.
+docs:
+	$(PYTHON) scripts/check_docs.py
 
 examples:
 	scratch=$$(mktemp -d); for script in $(CURDIR)/examples/*.py; do \

@@ -25,7 +25,16 @@ from repro.analysis.reaching_defs import analyze_reaching_definitions
 from repro.analysis.specialize import specialize
 from repro.analysis.api import analyze_design
 from repro.cfg.builder import build_cfg
-from repro.pipeline import AnalysisOptions, ArtifactCache, expand_jobs, run_batch
+from repro.pipeline import (
+    AnalysisOptions,
+    AnalysisServer,
+    ArtifactCache,
+    DiskArtifactCache,
+    ServerThread,
+    TieredArtifactCache,
+    expand_jobs,
+    run_batch,
+)
 from repro.vhdl.elaborate import elaborate_source
 from repro.workloads import multi_entity_program, synthetic_chain_program
 
@@ -104,11 +113,14 @@ def test_closure_phase_scaling(benchmark, report, processes, assignments):
 #
 # The batch-throughput phase: one source file holding BATCH_ENTITIES chain
 # designs, expanded (as `vhdl-ifa batch --all-entities` does) into one
-# analysis job per entity, and driven three ways — sequentially from cold,
-# over the process pool, and sequentially over a warm artifact cache.  The
-# recorded trajectory shows what the deployment modes buy: pool speed-up
-# scales with the machine's cores (on a single-core runner the pool only adds
-# overhead), while the warm-cache run skips every stage regardless.
+# analysis job per entity, and driven four ways — sequentially from cold,
+# over the process pool, sequentially over a warm in-memory artifact cache,
+# and cold-process over a populated on-disk cache dir.  The recorded
+# trajectory shows what the deployment modes buy: pool speed-up scales with
+# the machine's cores (on a single-core runner the pool only adds overhead),
+# the warm-cache run skips every stage regardless, and the disk-warm run
+# shows what a *fresh* invocation pays when `--cache-dir` already holds the
+# artifacts (unpickling instead of re-analysis).
 
 #: Entities per batch file × the per-entity chain shape.
 BATCH_ENTITIES = 8
@@ -170,4 +182,85 @@ def test_batch_throughput_warm_cache(benchmark, report, batch_jobs):
         entities=BATCH_ENTITIES,
         cached_stages_per_job=sorted(cached),
         cache_entries=len(cache),
+    )
+
+
+def test_batch_throughput_disk_warm(benchmark, report, batch_jobs, tmp_path_factory):
+    """A cold process over a populated ``--cache-dir``: disk-served stages.
+
+    Every round builds brand-new cache tiers (empty memory tier, fresh
+    universe registry) over the same populated directory, so each measured
+    run pays exactly what a fresh CLI invocation with ``--cache-dir`` pays:
+    open the store, unpickle the artifacts, adopt the universes.
+    """
+    cache_dir = str(tmp_path_factory.mktemp("disk-cache") / "store")
+    populate = TieredArtifactCache(ArtifactCache(), DiskArtifactCache(cache_dir))
+    cold = _assert_batch_ok(
+        run_batch(batch_jobs, AnalysisOptions(), parallel=False, cache=populate)
+    )
+
+    def run():
+        tier = TieredArtifactCache(ArtifactCache(), DiskArtifactCache(cache_dir))
+        warm = _assert_batch_ok(
+            run_batch(batch_jobs, AnalysisOptions(), parallel=False, cache=tier)
+        )
+        assert [item.text for item in warm.items] == [item.text for item in cold.items]
+        return warm
+
+    warm = benchmark(run)
+    cached = set(warm.items[0].data["cached_stages"])
+    assert {"parse", "elaborate", "closure"} <= cached
+    report(
+        jobs=len(batch_jobs),
+        entities=BATCH_ENTITIES,
+        cached_stages_per_job=sorted(cached),
+        disk_entries=len(DiskArtifactCache(cache_dir)),
+    )
+
+
+# ------------------------------------------------------------------ serve mode
+#
+# The serve-mode latency phase: one long-lived AnalysisServer over a warm
+# two-tier cache, hit with SERVE_REQUESTS sequential `POST /analyze` requests
+# for one entity of the batch workload file.  This prices the full service
+# round trip — HTTP parse, cache-served pipeline run, JSON render — i.e. the
+# per-request floor of CI-style repeated traffic.
+
+SERVE_REQUESTS = 16
+
+
+def _post_analyze(port, path, entity):
+    import http.client
+    import json as json_module
+
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    connection.request(
+        "POST", "/analyze", body=json_module.dumps({"file": path, "entity": entity})
+    )
+    response = connection.getresponse()
+    body = response.read()
+    assert response.status == 200, body
+    return body
+
+
+def test_serve_latency_warm(benchmark, report, tmp_path_factory):
+    """N sequential requests against one warm server, per-request latency."""
+    path = tmp_path_factory.mktemp("serve") / "designs.vhd"
+    path.write_text(
+        multi_entity_program(BATCH_ENTITIES, *BATCH_SHAPE), encoding="utf-8"
+    )
+    with ServerThread(
+        AnalysisServer(port=0, cache=TieredArtifactCache(ArtifactCache()))
+    ) as server:
+        _post_analyze(server.port, str(path), "chain_0")  # warm the cache
+
+        def run():
+            for _ in range(SERVE_REQUESTS):
+                _post_analyze(server.port, str(path), "chain_0")
+
+        benchmark(run)
+    report(
+        requests_per_round=SERVE_REQUESTS,
+        entity_shape=BATCH_SHAPE,
+        cache="warm two-tier (in-memory front)",
     )

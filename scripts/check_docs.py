@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Docs consistency gate (no dependencies beyond the stdlib).
+
+Checks two things, and exits non-zero listing every failure:
+
+1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
+   every relative link target (minus any ``#anchor``) names an existing
+   file or directory, relative to the linking document.
+2. ``docs/cli.md`` and ``src/repro/cli.py`` agree on the subcommand set:
+   every ``## `name ...``` heading in the CLI reference names a real
+   ``vhdl-ifa`` subcommand, and every subcommand registered in ``cli.py``
+   has a heading in the reference.
+
+Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
+CI runs it as the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — target captured; images (![...]) match too, harmlessly.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ## `analyze FILE` — the subcommand is the first word inside the backticks.
+_CLI_HEADING = re.compile(r"^#{2,3}\s+`([a-z][a-z-]*)", re.MULTILINE)
+#: sub.add_parser("analyze", ...) — only the top-level subparser object.
+_ADD_PARSER = re.compile(r"\bsub\.add_parser\(\s*[\"']([a-z-]+)[\"']")
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:"))
+
+
+def check_links(documents: list[Path]) -> list[str]:
+    failures = []
+    for document in documents:
+        text = document.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if _is_external(target):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure #anchor link within the same file
+                continue
+            resolved = (document.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{document.relative_to(REPO_ROOT)}: broken link "
+                    f"{target!r} (no such file {path_part!r})"
+                )
+    return failures
+
+
+def check_cli_reference() -> list[str]:
+    reference = (REPO_ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+    cli_source = (REPO_ROOT / "src" / "repro" / "cli.py").read_text(
+        encoding="utf-8"
+    )
+    documented = set(_CLI_HEADING.findall(reference))
+    registered = set(_ADD_PARSER.findall(cli_source))
+    failures = []
+    for name in sorted(documented - registered):
+        failures.append(
+            f"docs/cli.md documents subcommand {name!r} but cli.py does not "
+            "register it"
+        )
+    for name in sorted(registered - documented):
+        failures.append(
+            f"cli.py registers subcommand {name!r} but docs/cli.md has no "
+            f"heading for it"
+        )
+    if not documented:
+        failures.append("docs/cli.md: found no `## `subcommand`` headings")
+    return failures
+
+
+def main() -> int:
+    documents = [REPO_ROOT / "README.md"]
+    docs_dir = REPO_ROOT / "docs"
+    documents.extend(sorted(docs_dir.glob("*.md")))
+    failures = check_links(documents)
+    failures.extend(check_cli_reference())
+    for failure in failures:
+        print(f"docs check: {failure}", file=sys.stderr)
+    if failures:
+        print(f"docs check: {len(failures)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"docs check: {len(documents)} documents OK "
+        "(links resolve, CLI reference matches cli.py)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,14 +23,23 @@ Subcommands
     Execute the design with the delta-cycle simulator and print the final
     signal values.  All ``--set`` stimuli are validated before the first
     simulation step, so a malformed setting fails fast.
+``cache stats|clear --cache-dir DIR``
+    Inspect or empty the persistent artifact store.
+``serve``
+    Long-lived HTTP service: ``POST /analyze``, ``POST /check`` and
+    ``GET /stats`` over one warm two-tier cache; responses are byte-identical
+    to ``analyze --json`` / ``check --json``.
 
-All analysis subcommands run on :class:`repro.pipeline.Pipeline`.
+All analysis subcommands run on :class:`repro.pipeline.Pipeline` and accept
+``--cache-dir DIR`` (persist artifacts across invocations in a
+:class:`repro.pipeline.cache.DiskArtifactCache`) and ``--no-cache`` (bypass
+every cache tier).  See ``docs/cli.md`` for the full reference and
+``docs/cache.md`` for the cache design.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -38,13 +47,15 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.pipeline.artifacts import AnalysisOptions
 from repro.pipeline.batch import default_workers, expand_jobs, run_batch
-from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.cache import DiskArtifactCache, open_cache
 from repro.pipeline.render import (
-    analysis_json,
+    analyze_document,
+    check_document,
+    json_text,
     render_adjacency,
     render_analysis_text,
-    report_json,
 )
+from repro.pipeline.serve import serve
 from repro.pipeline.stages import Pipeline
 from repro.security.policy import TwoLevelPolicy
 from repro.semantics.simulator import Simulator
@@ -66,20 +77,35 @@ def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
 
 
 def _print_json(document: dict) -> None:
-    print(json.dumps(document, indent=2, ensure_ascii=False))
+    print(json_text(document))
+
+
+def _build_cache(args: argparse.Namespace, memory_default: bool = False):
+    """The cache an invocation runs on, from ``--cache-dir``/``--no-cache``.
+
+    ``memory_default`` controls what a plain invocation gets: single-shot
+    commands default to no cache at all (one run cannot hit it), while the
+    sequential batch driver defaults to an in-memory cache shared across its
+    jobs.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    return open_cache(
+        getattr(args, "cache_dir", None), memory=memory_default
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    run = Pipeline().run(_read_source(args.file), _analysis_options(args))
+    run = Pipeline(_build_cache(args)).run(
+        _read_source(args.file), _analysis_options(args)
+    )
     if args.json:
-        document = {
-            "command": "analyze",
-            **analysis_json(
+        _print_json(
+            analyze_document(
                 run, collapse=args.collapse, self_loops=args.self_loops,
                 file=args.file,
-            ),
-        }
-        _print_json(document)
+            )
+        )
         return 0
     print(
         render_analysis_text(
@@ -96,7 +122,11 @@ def _cmd_kemmerer(args: argparse.Namespace) -> int:
     options = AnalysisOptions(
         entity=args.entity, loop_processes=not args.straight_line
     )
-    result = Pipeline().run_kemmerer(_read_source(args.file), options).kemmerer
+    result = (
+        Pipeline(_build_cache(args))
+        .run_kemmerer(_read_source(args.file), options)
+        .kemmerer
+    )
     graph = result.graph if args.self_loops else result.graph.without_self_loops()
     if args.collapse:
         graph = graph.collapse_environment_nodes()
@@ -111,7 +141,7 @@ def _cmd_kemmerer(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     policy = TwoLevelPolicy(secret_resources=args.secret)
-    run = Pipeline().run(
+    run = Pipeline(_build_cache(args)).run(
         _read_source(args.file),
         _analysis_options(args),
         policy=policy,
@@ -123,12 +153,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     report = run.report
     if args.json:
-        document = {
-            "command": "check",
-            **report_json(run, file=args.file),
-            "policy": {"secrets": sorted(policy.secret_resources)},
-        }
-        _print_json(document)
+        _print_json(check_document(run, policy, file=args.file))
     else:
         print(report.to_text())
     return 0 if report.is_clean else 1
@@ -138,8 +163,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # Sequential runs share one in-process cache across expansion and every
     # job (repeated files, and each entity of a multi-entity file, reuse the
     # parse/elaborate artifacts).  The parallel path gets the per-worker
-    # caches the pool initializer installs instead.
-    cache = ArtifactCache() if args.sequential else None
+    # caches the pool initializer installs instead — layered over the shared
+    # disk tier when --cache-dir is given, in which case the expansion cache
+    # also seeds the parse artifacts onto disk for the workers.
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.sequential:
+        cache = _build_cache(args, memory_default=True)
+    else:
+        cache = open_cache(cache_dir) if cache_dir is not None else None
     jobs = expand_jobs(args.files, all_entities=args.all_entities, cache=cache)
     options = AnalysisOptions(
         improved=not args.basic, loop_processes=not args.straight_line
@@ -153,6 +184,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         parallel=not args.sequential,
         max_workers=args.jobs,
         cache=cache,
+        cache_dir=cache_dir,
+        no_cache=args.no_cache,
     )
     if args.json:
         _print_json(report.to_json_dict())
@@ -195,6 +228,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = DiskArtifactCache(args.cache_dir)
+    if args.cache_command == "clear":
+        before = cache.stats()
+        cache.clear()
+        print(
+            f"cleared {before['entries']} entries "
+            f"({before['bytes']} bytes) from {args.cache_dir}"
+        )
+        return 0
+    stats = cache.stats()
+    if args.json:
+        _print_json({"command": "cache-stats", **stats})
+        return 0
+    print(f"cache dir: {stats['path']} (format v{stats['version']})")
+    print(
+        f"entries: {stats['entries']} ({stats['bytes']} bytes of "
+        f"{stats['max_bytes']} budget), universes: {stats['universes']}"
+    )
+    for stage, count in stats["stages"].items():
+        print(f"  {stage}: {count}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # The server always keeps the in-memory tier (that is the point of a
+    # long-lived process) unless --no-cache asks for cold runs throughout.
+    cache = None if args.no_cache else open_cache(args.cache_dir, memory=True)
+    try:
+        serve(
+            host=args.host,
+            port=args.port,
+            cache=cache,
+            announce=lambda url: print(
+                f"vhdl-ifa serve: listening on {url}", file=sys.stderr
+            ),
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The artifact-cache flags shared by every analysis subcommand."""
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist stage artifacts under DIR and reuse them across runs",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the artifact cache entirely (both tiers)",
+    )
+
+
 def _add_graph_flags(parser: argparse.ArgumentParser) -> None:
     """The graph-shaping flags shared by ``analyze``, ``kemmerer``, ``batch``."""
     parser.add_argument(
@@ -229,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable summary (adjacency, stage timings)",
     )
+    _add_cache_flags(analyze_p)
     analyze_p.set_defaults(handler=_cmd_analyze)
 
     kem_p = sub.add_parser("kemmerer", help="run Kemmerer's baseline method")
@@ -236,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     kem_p.add_argument("--entity", default=None)
     kem_p.add_argument("--straight-line", action="store_true")
     _add_graph_flags(kem_p)
+    _add_cache_flags(kem_p)
     kem_p.set_defaults(handler=_cmd_kemmerer)
 
     check_p = sub.add_parser("check", help="check a two-level confidentiality policy")
@@ -265,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable verdict (violations, stage timings)",
     )
+    _add_cache_flags(check_p)
     check_p.set_defaults(handler=_cmd_check)
 
     batch_p = sub.add_parser(
@@ -296,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one machine-readable document for the whole batch",
     )
+    _add_cache_flags(batch_p)
     batch_p.set_defaults(handler=_cmd_batch)
 
     sim_p = sub.add_parser("simulate", help="run the delta-cycle simulator")
@@ -304,6 +398,34 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--set", action="append", help="drive an input port, e.g. --set a=1010")
     sim_p.add_argument("--max-deltas", type=int, default=1000)
     sim_p.set_defaults(handler=_cmd_simulate)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_stats_p = cache_sub.add_parser("stats", help="entry counts and sizes")
+    cache_stats_p.add_argument(
+        "--cache-dir", required=True, metavar="DIR", help="the cache directory"
+    )
+    cache_stats_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable statistics"
+    )
+    cache_stats_p.set_defaults(handler=_cmd_cache)
+    cache_clear_p = cache_sub.add_parser("clear", help="remove every entry")
+    cache_clear_p.add_argument(
+        "--cache-dir", required=True, metavar="DIR", help="the cache directory"
+    )
+    cache_clear_p.set_defaults(handler=_cmd_cache)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived HTTP analysis service"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 binds an ephemeral one)"
+    )
+    _add_cache_flags(serve_p)
+    serve_p.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -26,13 +26,23 @@ from repro.pipeline.batch import (
     run_batch,
     run_job,
 )
-from repro.pipeline.cache import ArtifactCache, source_digest
+from repro.pipeline.cache import (
+    ArtifactCache,
+    DiskArtifactCache,
+    TieredArtifactCache,
+    open_cache,
+    source_digest,
+)
 from repro.pipeline.render import (
     analysis_json,
+    analyze_document,
+    check_document,
+    json_text,
     render_analysis_text,
     report_json,
     select_graph,
 )
+from repro.pipeline.serve import AnalysisServer, ServerThread, serve
 from repro.pipeline.stages import (
     ANALYSIS_STAGES,
     KEMMERER_STAGES,
@@ -47,25 +57,34 @@ __all__ = [
     "ANALYSIS_STAGES",
     "AnalysisOptions",
     "AnalysisResult",
+    "AnalysisServer",
     "ArtifactCache",
     "BatchItem",
     "BatchJob",
     "BatchReport",
+    "DiskArtifactCache",
     "KEMMERER_STAGES",
     "Pipeline",
     "PipelineContext",
     "PipelineResult",
     "STAGE_NAMES",
+    "ServerThread",
     "Stage",
     "StageTiming",
+    "TieredArtifactCache",
     "analysis_json",
+    "analyze_document",
+    "check_document",
     "entities_in",
     "expand_jobs",
+    "json_text",
+    "open_cache",
     "render_analysis_text",
     "report_json",
     "run_batch",
     "run_job",
     "select_graph",
+    "serve",
     "source_digest",
     "stage_key",
 ]

@@ -3,9 +3,12 @@
 :class:`AnalysisResult` is the bundle of artefacts one full Information Flow
 analysis run produces; it used to live in :mod:`repro.analysis.api` and is
 still re-exported from there.  :class:`AnalysisOptions` is the frozen set of
-knobs that select *which* analysis runs (and therefore participates in cache
-keys); :class:`StageTiming` / :class:`PipelineResult` describe *how* a
-pipeline run went, stage by stage.
+knobs that select *which* analysis runs — its fields are the option inputs
+of every stage cache key (see :func:`repro.pipeline.stages.stage_key` and
+``docs/architecture.md`` for which field keys which stage).
+:class:`StageTiming` / :class:`PipelineResult` describe *how* a pipeline run
+went, stage by stage; ``PipelineResult.cached_stages`` is the observable the
+caching tests and the ``--json`` documents rely on.
 """
 
 from __future__ import annotations

@@ -1,19 +1,25 @@
 """Batch driver: analyse many files (or all entities of a file) at once.
 
-The driver expands the requested paths into :class:`BatchJob` items (one per
-file, or one per entity with ``all_entities=True``), runs each job through
-the staged pipeline and renders the exact output the sequential
-``vhdl-ifa analyze`` command would print (see
-:func:`repro.pipeline.render.render_analysis_text` — both paths share it, so
-the per-file output is byte-identical by construction).
+Inputs are file paths; outputs are :class:`BatchItem` records holding the
+exact text/JSON the sequential ``vhdl-ifa analyze`` command would print for
+that file.  The driver expands the requested paths into :class:`BatchJob`
+items (one per file, or one per entity with ``all_entities=True``), runs
+each job through the staged pipeline and renders it with
+:func:`repro.pipeline.render.render_analysis_text` — both paths share the
+renderer, so the per-file output is byte-identical by construction.
 
 ``parallel=True`` distributes jobs over a ``ProcessPoolExecutor``; results
 are collected in submission order, so the output ordering is deterministic
 regardless of which worker finishes first.  Every pool worker keeps one
 process-local :class:`~repro.pipeline.cache.ArtifactCache` alive across the
-jobs it serves; in sequential mode a caller-supplied cache persists across
-whole batch runs, which is what makes warm re-runs skip the parse, elaborate
-and closure stages.
+jobs it serves, and with ``cache_dir`` every worker layers that in-memory
+tier over the *shared* :class:`~repro.pipeline.cache.DiskArtifactCache` —
+a cold parallel run over previously-seen files then skips parse/elaborate
+(and every other stage) entirely.  In sequential mode a caller-supplied
+cache persists across whole batch runs, which is what makes warm re-runs
+skip the expensive stages; cache keys are the per-stage keys of
+:func:`repro.pipeline.stages.stage_key` (stage + source sha256 + the options
+the stage depends on).
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.pipeline.artifacts import AnalysisOptions
-from repro.pipeline.cache import ArtifactCache, source_digest
+from repro.pipeline.cache import open_cache, source_digest
 from repro.pipeline.render import analysis_json, render_analysis_text, select_graph
 from repro.pipeline.stages import PARSE, Pipeline, stage_key
 from repro.vhdl.parser import parse_program
@@ -113,7 +119,7 @@ def entities_in(source: str) -> List[str]:
 def expand_jobs(
     paths: Sequence[str],
     all_entities: bool = False,
-    cache: Optional[ArtifactCache] = None,
+    cache: Optional[Any] = None,
 ) -> List[BatchJob]:
     """Turn file paths into jobs, optionally one per entity in each file.
 
@@ -188,13 +194,14 @@ def run_job(
 
 
 # Each pool worker keeps one pipeline (and its artifact cache) alive for the
-# jobs it serves; repeated files within one batch hit the worker's cache.
+# jobs it serves; repeated files within one batch hit the worker's cache, and
+# with a cache directory all workers additionally share the disk tier.
 _WORKER_PIPELINE: Optional[Pipeline] = None
 
 
-def _init_worker() -> None:
+def _init_worker(cache_dir: Optional[str] = None, no_cache: bool = False) -> None:
     global _WORKER_PIPELINE
-    _WORKER_PIPELINE = Pipeline(ArtifactCache())
+    _WORKER_PIPELINE = Pipeline(None if no_cache else open_cache(cache_dir))
 
 
 def _run_job_in_worker(payload) -> BatchItem:
@@ -223,15 +230,20 @@ def run_batch(
     dot: bool = False,
     parallel: bool = True,
     max_workers: Optional[int] = None,
-    cache: Optional[ArtifactCache] = None,
+    cache: Optional[Any] = None,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
 ) -> BatchReport:
     """Analyse every job; results come back in submission order.
 
     ``parallel=True`` fans out over a process pool (``max_workers`` defaults
-    to the CPU count; caches are then per worker process and ``cache`` is
-    ignored).  ``parallel=False`` runs in-process, threading ``cache``
-    through every job — run two batches over the same cache and the second
-    one is served from warm artifacts.
+    to the CPU count; in-memory caches are then per worker process and
+    ``cache`` is ignored, but with ``cache_dir`` every worker shares the
+    persistent :class:`~repro.pipeline.cache.DiskArtifactCache` rooted
+    there, and ``no_cache=True`` gives the workers no cache at all).
+    ``parallel=False`` runs in-process, threading ``cache`` through every
+    job — run two batches over the same cache and the second one is served
+    from warm artifacts.
     """
     if options is None:
         options = AnalysisOptions()
@@ -247,7 +259,9 @@ def run_batch(
             (job, options, collapse, self_loops, dot) for job in job_list
         ]
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(cache_dir, no_cache),
         ) as executor:
             futures = [
                 executor.submit(_run_job_in_worker, payload)

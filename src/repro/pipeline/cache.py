@@ -1,19 +1,77 @@
-"""Content-addressed artifact cache for the staged pipeline.
+"""Content-addressed artifact caching for the staged pipeline: two tiers.
 
 Artifacts are keyed by ``stage name + source hash + entity + the analysis
 options that stage depends on`` (see ``stage_key`` in
 :mod:`repro.pipeline.stages`): the same source text analysed with the same
 options hits the same entries no matter which path produced them, and any
-change to the source or the options changes the key.  The cache is in-memory
-and per-process — a server keeps one per worker; the batch driver's pool
-initialiser installs one per pool process — and it counts hits and misses so
-tests and ``--json`` output can assert cache behaviour.
+change to the source or the options changes the key.
+
+Three stores implement that contract:
+
+:class:`ArtifactCache`
+    The in-memory, per-process tier — bounded, FIFO-evicted, with hit/miss
+    counters.  A server keeps one per process; the batch driver's pool
+    initialiser installs one per pool worker.
+:class:`DiskArtifactCache`
+    The persistent tier.  Entries live under
+    ``<cache-dir>/<stage>/<key-sha256>.pkl`` next to an ``index.json``
+    metadata file; writes go to a temporary file in the same directory and
+    are published with an atomic ``os.replace``, so concurrent writers (two
+    CLI invocations, many batch workers) never expose a torn entry.  Every
+    entry embeds a format tag and :data:`FORMAT_VERSION`; entries with a
+    stale tag, a truncated pickle or any other decoding problem are *evicted*
+    on read, never raised.  Total entry size is bounded by ``max_bytes``
+    with least-recently-used eviction (recency = file mtime, refreshed on
+    every hit).
+:class:`TieredArtifactCache`
+    The composition the CLI, the batch workers and ``vhdl-ifa serve`` run
+    on: an in-memory front tier over an optional on-disk back tier.  Gets
+    fall through to disk and promote the loaded artifact into memory; puts
+    write through to both tiers.
+
+Universe pinning on disk
+------------------------
+
+Universe-bound artifacts (the bitset-encoded matrices and graphs from the
+``local`` stage onward) are only meaningful together with the
+:class:`~repro.dataflow.universe.FactUniverse` that interned their bit
+positions, and the pipeline requires every universe-bound artifact of one
+run to share one universe *object* (see :mod:`repro.pipeline.stages`).  The
+disk tier therefore externalises universes instead of pickling one copy per
+entry: a pickled artifact refers to its universe by the content hash of the
+universe's fact list (a pickle ``persistent_id``), and the facts themselves
+are written once to ``<cache-dir>/universes/<hash>.pkl`` — an immutable
+snapshot, because any growth of the append-only universe changes the hash.
+On load, snapshots resolve through a per-process registry: the first entry
+to reference a snapshot materialises the universe, and every later entry
+whose snapshot is a prefix-compatible extension (or restriction) of an
+already-registered universe re-adopts *the same object*, extending it in
+place when the snapshot is longer.  That is what lets a fresh process load
+``local``, ``specialize``, ``closure`` and ``flow_graph`` from disk and
+still hand the pipeline one consistent universe.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, Optional
+import io
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.dataflow.universe import FactUniverse
+
+#: Bumped whenever the on-disk entry layout changes; entries (and whole cache
+#: directories) recorded under another version are evicted, not decoded.
+FORMAT_VERSION = 1
+
+_ENTRY_TAG = "vhdl-ifa-artifact"
+_UNIVERSE_TAG = "vhdl-ifa-universe"
+_PERSISTENT_PREFIX = "universe:"
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 def source_digest(source: str) -> str:
@@ -68,3 +126,494 @@ class ArtifactCache:
     def stats(self) -> Dict[str, int]:
         """Counters for reports and tests."""
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+class _CacheMiss(Exception):
+    """Internal: an on-disk entry exists but cannot be served."""
+
+
+class _ArtifactPickler(pickle.Pickler):
+    """Pickles artifacts with their universes externalised by snapshot id."""
+
+    def __init__(self, buffer, uid_for, refs: Dict[str, FactUniverse]):
+        super().__init__(buffer, protocol=_PICKLE_PROTOCOL)
+        self._uid_for = uid_for
+        self._refs = refs
+
+    def persistent_id(self, obj: Any) -> Optional[str]:
+        if isinstance(obj, FactUniverse):
+            uid = self._uid_for(obj)
+            self._refs[uid] = obj
+            return _PERSISTENT_PREFIX + uid
+        return None
+
+
+class _ArtifactUnpickler(pickle.Unpickler):
+    """Resolves externalised universe references against the registry."""
+
+    def __init__(self, buffer, universes: Dict[str, FactUniverse]):
+        super().__init__(buffer)
+        self._universes = universes
+
+    def persistent_load(self, pid: Any) -> Any:
+        if isinstance(pid, str) and pid.startswith(_PERSISTENT_PREFIX):
+            universe = self._universes.get(pid[len(_PERSISTENT_PREFIX):])
+            if universe is not None:
+                return universe
+        raise pickle.UnpicklingError(f"unresolvable persistent id {pid!r}")
+
+
+class DiskArtifactCache:
+    """A persistent, content-addressed artifact store under one directory.
+
+    See the module docstring for the layout and the universe-snapshot scheme.
+    The store is safe to share between processes: entries are published with
+    atomic renames and are self-describing (tag, version, full key), so the
+    ``index.json`` metadata is only a convenience for ``stats`` and humans —
+    a lost race on the index never loses or corrupts an entry.  All decoding
+    failures (truncation, foreign pickles, stale :data:`FORMAT_VERSION`,
+    missing universe snapshots) evict the offending entry and count a miss.
+    """
+
+    #: Default size budget for entry files (universe snapshots are tiny and
+    #: kept outside the budget; ``clear`` removes them too).
+    DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+    #: Rewrite ``index.json`` at most every this many puts — the index is
+    #: non-authoritative metadata, so flushing lazily just means it may lag
+    #: the entry files until the next flush (or the next open rebuilds it).
+    INDEX_FLUSH_INTERVAL = 64
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        universe_registry_size: int = 256,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self._registry_size = universe_registry_size
+        #: snapshot id -> universe object (several ids may alias one object).
+        self._universes: Dict[str, FactUniverse] = {}
+        #: id(universe) -> (snapshot id, universe length when hashed).
+        self._universe_uids: Dict[int, Tuple[str, int]] = {}
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._universe_dir = self.root / "universes"
+        self._universe_dir.mkdir(exist_ok=True)
+        self._index_path = self.root / "index.json"
+        self._index = self._load_index()
+        self._dirty_puts = 0
+        #: Running estimate of total entry bytes; writes by other processes
+        #: are only seen at the next budget scan, so the budget is a target,
+        #: not a hard ceiling, for concurrently-written stores.
+        self._approx_bytes = sum(size for _, size in self._entry_files())
+
+    # ------------------------------------------------------------ store API
+
+    def get(self, key: str) -> Optional[Any]:
+        """The artifact stored for ``key``, or ``None`` (counting hit/miss).
+
+        A hit refreshes the entry file's mtime, which is the recency the LRU
+        eviction in :meth:`put` orders by.
+        """
+        path = self._entry_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            value = self._decode_entry(key, blob)
+        except Exception:
+            # Truncated/corrupted/stale entries are evicted, never raised.
+            self._remove_entry(path)
+            self.misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Persist one artifact atomically, then enforce the size budget.
+
+        Unpicklable values are skipped silently: the disk tier is an
+        accelerator, not a system of record, so a value it cannot hold simply
+        stays compute-on-demand.
+        """
+        try:
+            blob = self._encode_entry(key, value)
+        except Exception:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, blob)
+        relpath = str(path.relative_to(self.root))
+        self._index["entries"][relpath] = {
+            "key": key,
+            "stage": path.parent.name,
+            "bytes": len(blob),
+        }
+        # Overwrites of an existing key are counted as growth here; the next
+        # budget scan resynchronises the estimate, so errors only make the
+        # (O(entries)) scan happen a little early, never late.
+        self._approx_bytes += len(blob)
+        self._dirty_puts += 1
+        if self._approx_bytes > self.max_bytes:
+            self._enforce_budget(keep=path)
+            self._write_index()
+            self._dirty_puts = 0
+        elif self._dirty_puts >= self.INDEX_FLUSH_INTERVAL:
+            self._write_index()
+            self._dirty_puts = 0
+
+    def clear(self) -> None:
+        """Remove every entry and universe snapshot (counters are kept)."""
+        self._clear_files()
+        self._universes.clear()
+        self._universe_uids.clear()
+        self._index = {"version": FORMAT_VERSION, "entries": {}}
+        self._approx_bytes = 0
+        self._dirty_puts = 0
+        self._write_index()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_files())
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry_path(key).exists()
+
+    def stats(self) -> Dict[str, Any]:
+        """Directory-scan statistics plus this process's hit/miss counters."""
+        stages: Dict[str, int] = {}
+        total = 0
+        for path, size in self._entry_files():
+            stages[path.parent.name] = stages.get(path.parent.name, 0) + 1
+            total += size
+        universes = sum(1 for _ in self._universe_dir.glob("*.pkl"))
+        return {
+            "path": str(self.root),
+            "version": FORMAT_VERSION,
+            "entries": sum(stages.values()),
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "universes": universes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stages": dict(sorted(stages.items())),
+        }
+
+    # -------------------------------------------------------------- encoding
+
+    def _encode_entry(self, key: str, value: Any) -> bytes:
+        buffer = io.BytesIO()
+        refs: Dict[str, FactUniverse] = {}
+        _ArtifactPickler(buffer, self._uid_for, refs).dump(value)
+        universe_lengths = {uid: len(universe) for uid, universe in refs.items()}
+        for uid, universe in refs.items():
+            self._save_universe(uid, universe)
+        return pickle.dumps(
+            (_ENTRY_TAG, FORMAT_VERSION, key, universe_lengths, buffer.getvalue()),
+            protocol=_PICKLE_PROTOCOL,
+        )
+
+    def _decode_entry(self, key: str, blob: bytes) -> Any:
+        envelope = pickle.loads(blob)
+        tag, version, stored_key, universe_lengths, payload = envelope
+        if tag != _ENTRY_TAG or version != FORMAT_VERSION or stored_key != key:
+            raise _CacheMiss(f"stale or foreign entry for {key!r}")
+        for uid, needed in universe_lengths.items():
+            self._require_universe(uid, needed)
+        return _ArtifactUnpickler(io.BytesIO(payload), self._universes).load()
+
+    # -------------------------------------------------- universe snapshots
+
+    def _uid_for(self, universe: FactUniverse) -> str:
+        """The content hash of ``universe``'s fact list (its snapshot id)."""
+        cached = self._universe_uids.get(id(universe))
+        if cached is not None:
+            uid, length = cached
+            if self._universes.get(uid) is universe and length == len(universe):
+                return uid
+        facts = list(universe)
+        uid = hashlib.sha256(
+            pickle.dumps(facts, protocol=_PICKLE_PROTOCOL)
+        ).hexdigest()[:32]
+        self._register_universe(uid, universe)
+        return uid
+
+    def _register_universe(self, uid: str, universe: FactUniverse) -> None:
+        self._universes[uid] = universe
+        self._universe_uids[id(universe)] = (uid, len(universe))
+        while len(self._universes) > self._registry_size:
+            oldest_uid = next(iter(self._universes))
+            oldest = self._universes.pop(oldest_uid)
+            self._universe_uids.pop(id(oldest), None)
+
+    def _save_universe(self, uid: str, universe: FactUniverse) -> None:
+        path = self._universe_dir / f"{uid}.pkl"
+        if path.exists():
+            return  # snapshots are content-addressed, hence immutable
+        blob = pickle.dumps(
+            (_UNIVERSE_TAG, FORMAT_VERSION, uid, list(universe)),
+            protocol=_PICKLE_PROTOCOL,
+        )
+        self._atomic_write(path, blob)
+
+    def _require_universe(self, uid: str, needed: int) -> None:
+        """Make the snapshot ``uid`` resolvable with at least ``needed`` facts."""
+        universe = self._universes.get(uid)
+        if universe is None:
+            universe = self._adopt_universe(uid, self._read_universe_facts(uid))
+        if len(universe) < needed:
+            raise _CacheMiss(
+                f"universe snapshot {uid} holds {len(universe)} < {needed} facts"
+            )
+
+    def _read_universe_facts(self, uid: str) -> List[Any]:
+        path = self._universe_dir / f"{uid}.pkl"
+        try:
+            envelope = pickle.loads(path.read_bytes())
+            tag, version, stored_uid, facts = envelope
+        except Exception as error:
+            raise _CacheMiss(f"unreadable universe snapshot {uid}") from error
+        if tag != _UNIVERSE_TAG or version != FORMAT_VERSION or stored_uid != uid:
+            raise _CacheMiss(f"stale universe snapshot {uid}")
+        return list(facts)
+
+    def _adopt_universe(self, uid: str, facts: List[Any]) -> FactUniverse:
+        """Register ``uid``, re-using a prefix-compatible live universe.
+
+        Snapshots taken at different growth points of one append-only
+        universe are prefixes of each other, so aliasing them all to one
+        object keeps the pipeline's identity discipline across entries: an
+        artifact referencing the shorter snapshot decodes identically against
+        the longer universe.
+        """
+        if facts:
+            seen = {id(u): u for u in self._universes.values()}
+            for existing in seen.values():
+                known = list(existing)
+                overlap = min(len(known), len(facts))
+                if overlap == 0 or known[0] != facts[0]:
+                    continue
+                if known[:overlap] == facts[:overlap]:
+                    if len(facts) > len(known):
+                        existing.intern_all(facts[len(known):])
+                    self._universes[uid] = existing
+                    return existing
+        universe: FactUniverse = FactUniverse(facts)
+        self._register_universe(uid, universe)
+        return universe
+
+    # ----------------------------------------------------------- filesystem
+
+    def _entry_path(self, key: str) -> Path:
+        stage = key.split(":", 1)[0]
+        if not stage.isidentifier():
+            stage = "misc"
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.root / stage / f"{digest}.pkl"
+
+    def _entry_files(self) -> Iterator[Tuple[Path, int]]:
+        for child in sorted(self.root.iterdir()):
+            if not child.is_dir() or child.name == "universes":
+                continue
+            for path in sorted(child.glob("*.pkl")):
+                try:
+                    yield path, path.stat().st_size
+                except OSError:
+                    continue  # evicted by a concurrent process mid-scan
+
+    def _atomic_write(self, path: Path, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _remove_entry(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self._index["entries"].pop(str(path.relative_to(self.root)), None)
+        self._write_index()
+
+    def _enforce_budget(self, keep: Optional[Path] = None) -> None:
+        files = []
+        total = 0
+        for path, size in self._entry_files():
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            files.append((mtime, size, path))
+            total += size
+        if total <= self.max_bytes:
+            self._approx_bytes = total
+            return
+        files.sort(key=lambda item: item[0])
+        for _, size, path in files:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._index["entries"].pop(str(path.relative_to(self.root)), None)
+            total -= size
+        self._approx_bytes = total
+
+    def _clear_files(self) -> None:
+        for path, _ in list(self._entry_files()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for path in self._universe_dir.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ---------------------------------------------------------------- index
+
+    def _load_index(self) -> Dict[str, Any]:
+        try:
+            index = json.loads(self._index_path.read_text(encoding="utf-8"))
+            if not isinstance(index, dict):
+                raise ValueError("index is not an object")
+        except (OSError, ValueError):
+            # Missing or corrupt index: rebuild it from the entry files — the
+            # entries themselves are self-describing and stay servable.
+            index = self._rebuild_index()
+            self._index = index
+            self._write_index()
+            return index
+        if index.get("version") != FORMAT_VERSION:
+            # A different format version wrote this cache: evict wholesale.
+            self._clear_files()
+            index = {"version": FORMAT_VERSION, "entries": {}}
+            self._index = index
+            self._write_index()
+            return index
+        index.setdefault("entries", {})
+        return index
+
+    def _rebuild_index(self) -> Dict[str, Any]:
+        entries: Dict[str, Any] = {}
+        for path, size in self._entry_files():
+            entries[str(path.relative_to(self.root))] = {
+                "stage": path.parent.name,
+                "bytes": size,
+            }
+        return {"version": FORMAT_VERSION, "entries": entries}
+
+    def _write_index(self) -> None:
+        blob = json.dumps(self._index, indent=2, sort_keys=True).encode("utf-8")
+        try:
+            self._atomic_write(self._index_path, blob)
+        except OSError:
+            pass  # metadata only; entries remain self-describing
+
+
+class TieredArtifactCache:
+    """An in-memory front tier over an optional persistent back tier.
+
+    Gets hit the memory tier first, fall through to disk and promote the
+    loaded artifact into memory (so one process pays the unpickling cost
+    once per entry); puts write through to both tiers.  ``hits``/``misses``
+    count at the composed level: a disk hit is a hit.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[ArtifactCache] = None,
+        disk: Optional[DiskArtifactCache] = None,
+    ):
+        self.memory = memory if memory is not None else ArtifactCache()
+        self.disk = disk
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """The artifact from the nearest tier holding it, promoting disk hits."""
+        value = self.memory.get(key)
+        if value is None and self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.memory.put(key, value)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Write through to both tiers."""
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def clear(self) -> None:
+        """Clear both tiers (counters are kept, as in the single tiers)."""
+        self.memory.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self.memory:
+            return True
+        return self.disk is not None and key in self.disk
+
+    def stats(self) -> Dict[str, Any]:
+        """Composed counters plus each tier's own statistics."""
+        stats: Dict[str, Any] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory": self.memory.stats(),
+        }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
+
+
+def open_cache(
+    cache_dir: Optional[str] = None,
+    *,
+    memory: bool = True,
+    max_entries: int = 1024,
+    max_bytes: int = DiskArtifactCache.DEFAULT_MAX_BYTES,
+) -> Optional[Any]:
+    """The cache the CLI, batch workers and the server share.
+
+    With ``cache_dir`` this is a :class:`TieredArtifactCache` over a
+    :class:`DiskArtifactCache` rooted there; without it, a plain in-memory
+    :class:`ArtifactCache` when ``memory`` is true, else ``None`` (caching
+    disabled — the ``--no-cache`` path).
+    """
+    if cache_dir is not None:
+        return TieredArtifactCache(
+            ArtifactCache(max_entries), DiskArtifactCache(cache_dir, max_bytes)
+        )
+    return ArtifactCache(max_entries) if memory else None

@@ -1,14 +1,20 @@
 """Render pipeline results as the CLI's text and ``--json`` documents.
 
-Both the ``vhdl-ifa analyze`` command and the batch driver go through
-:func:`render_analysis_text`, so a batch run's per-file output is
-byte-identical to the sequential command by construction.  The JSON builders
-return plain dicts (stable key order, only JSON-native types), shared by
-``--json`` on ``analyze``/``check``/``batch``.
+Inputs are finished :class:`~repro.pipeline.artifacts.PipelineResult` /
+:class:`~repro.pipeline.artifacts.AnalysisResult` objects; outputs are the
+user-facing renderings.  Both the ``vhdl-ifa analyze`` command and the batch
+driver go through :func:`render_analysis_text`, so a batch run's per-file
+output is byte-identical to the sequential command by construction.  The
+JSON builders return plain dicts (stable key order, only JSON-native types),
+shared by ``--json`` on ``analyze``/``check``/``batch``;
+:func:`analyze_document` / :func:`check_document` / :func:`json_text` are
+the complete documents, shared by the CLI and ``vhdl-ifa serve`` — which is
+why a server response is byte-identical to the corresponding CLI output.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional
 
 from repro.pipeline.artifacts import AnalysisResult, PipelineResult
@@ -115,3 +121,39 @@ def report_json(pipeline: PipelineResult, file: Optional[str] = None) -> Dict[st
     document["timings"] = _round_timings(pipeline)
     document["cached_stages"] = pipeline.cached_stages
     return document
+
+
+def analyze_document(
+    pipeline: PipelineResult,
+    collapse: bool = False,
+    self_loops: bool = False,
+    file: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The complete ``analyze --json`` document (CLI and server share it)."""
+    return {
+        "command": "analyze",
+        **analysis_json(pipeline, collapse=collapse, self_loops=self_loops, file=file),
+    }
+
+
+def check_document(
+    pipeline: PipelineResult,
+    policy: Any,
+    file: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The complete ``check --json`` document (CLI and server share it)."""
+    return {
+        "command": "check",
+        **report_json(pipeline, file=file),
+        "policy": {"secrets": sorted(policy.secret_resources)},
+    }
+
+
+def json_text(document: Dict[str, Any]) -> str:
+    """One canonical JSON serialisation, shared by the CLI and the server.
+
+    Both ``vhdl-ifa analyze --json`` (via ``print``) and ``vhdl-ifa serve``
+    emit exactly this text plus a trailing newline, which is what makes the
+    two byte-comparable.
+    """
+    return json.dumps(document, indent=2, ensure_ascii=False)

@@ -1,0 +1,346 @@
+"""``vhdl-ifa serve``: a long-lived analysis service over one warm cache.
+
+A small asyncio HTTP server (stdlib only) that keeps one
+:class:`~repro.pipeline.stages.Pipeline` — and therefore one
+:class:`~repro.pipeline.cache.TieredArtifactCache` — alive across requests,
+so repeated analyses of the same design are served from warm artifacts
+instead of re-paying parse/elaborate/closure on every invocation.
+
+Endpoints
+---------
+``POST /analyze``
+    Body: ``{"file": PATH}`` or ``{"source": TEXT}``, plus the optional
+    ``entity``, ``basic``, ``straight_line``, ``collapse``, ``self_loops``
+    keys mirroring the CLI flags.  The response body is byte-identical to
+    what ``vhdl-ifa analyze FILE --json`` prints for the same input and
+    cache state (both sides render :func:`repro.pipeline.render.analyze_document`
+    through :func:`repro.pipeline.render.json_text`).
+``POST /check``
+    Body: the ``analyze`` keys plus ``secret`` (list), and the optional
+    ``output`` (list), ``transitive``, ``ports_only`` keys.  The response is
+    byte-identical to ``vhdl-ifa check FILE --json ...``.
+``GET /stats``
+    Uptime, per-endpoint request counters and the cache statistics of both
+    tiers.
+
+Analysis runs synchronously on the event loop: requests are effectively
+serialised, which is the honest behaviour for a CPU-bound single-process
+service (run several server processes over one ``--cache-dir`` to scale
+out; the disk tier is multi-process safe).  Errors never kill the server:
+bad JSON or a failing analysis become a ``4xx`` JSON body ``{"error": ...}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.pipeline.artifacts import AnalysisOptions
+from repro.pipeline.render import analyze_document, check_document, json_text
+from repro.pipeline.stages import Pipeline
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Requests larger than this are rejected instead of buffered.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REQUEST_ERRORS = (ReproError, OSError, UnicodeDecodeError)
+
+
+class AnalysisServer:
+    """The request handlers plus the shared pipeline state of one server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        cache: Optional[Any] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.cache = cache
+        self.pipeline = Pipeline(cache)
+        self.started_at = time.time()
+        self.request_counts: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind and start accepting connections; resolves the real port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ HTTP
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as error:
+                await self._respond(writer, error.status, {"error": str(error)})
+                return
+            status, document = self._dispatch(method, path, body)
+            await self._respond(writer, status, document)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise _BadRequest("malformed HTTP request")
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        length = 0
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("malformed Content-Length header")
+                if length < 0:
+                    raise _BadRequest("malformed Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest("request body too large", status=413)
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _BadRequest("truncated request body")
+        return method, path.split("?", 1)[0], body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, document: Dict[str, Any]
+    ) -> None:
+        body = (json_text(document) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            "Content-Type: application/json; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # --------------------------------------------------------------- routing
+
+    def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        route = f"{method} {path}"
+        self.request_counts[route] = self.request_counts.get(route, 0) + 1
+        if path == "/analyze" or path == "/check":
+            if method != "POST":
+                return 405, {"error": f"{path} expects POST, got {method}"}
+            try:
+                payload = self._parse_payload(body)
+                if path == "/analyze":
+                    return 200, self._analyze(payload)
+                return 200, self._check(payload)
+            except _BadRequest as error:
+                return error.status, {"error": str(error)}
+            except _REQUEST_ERRORS as error:
+                return 400, {"error": str(error)}
+            except Exception as error:  # never kill the server on one request
+                return 500, {"error": f"internal error: {error!r}"}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": f"/stats expects GET, got {method}"}
+            return 200, self._stats()
+        return 404, {"error": f"unknown path {path!r}"}
+
+    @staticmethod
+    def _parse_payload(body: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise _BadRequest(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    # -------------------------------------------------------------- handlers
+
+    @staticmethod
+    def _load_source(payload: Dict[str, Any]) -> Tuple[str, Optional[str]]:
+        file = payload.get("file")
+        source = payload.get("source")
+        if (file is None) == (source is None):
+            raise _BadRequest("exactly one of 'file' and 'source' is required")
+        if file is not None:
+            if not isinstance(file, str):
+                raise _BadRequest("'file' must be a path string")
+            with open(file, encoding="utf-8") as handle:
+                return handle.read(), file
+        if not isinstance(source, str):
+            raise _BadRequest("'source' must be VHDL source text")
+        return source, None
+
+    @staticmethod
+    def _options(payload: Dict[str, Any]) -> AnalysisOptions:
+        return AnalysisOptions(
+            entity=payload.get("entity"),
+            improved=not payload.get("basic", False),
+            loop_processes=not payload.get("straight_line", False),
+        )
+
+    def _analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        source, file = self._load_source(payload)
+        run = self.pipeline.run(source, self._options(payload))
+        return analyze_document(
+            run,
+            collapse=bool(payload.get("collapse", False)),
+            self_loops=bool(payload.get("self_loops", False)),
+            file=file,
+        )
+
+    def _check(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        # Imported lazily: repro.security imports repro.analysis.api, which
+        # itself imports this package (same cycle the report stage breaks).
+        from repro.security.policy import TwoLevelPolicy
+
+        source, file = self._load_source(payload)
+        secrets = payload.get("secret", [])
+        if not isinstance(secrets, list):
+            raise _BadRequest("'secret' must be a list of resource names")
+        outputs = payload.get("output", [])
+        if not isinstance(outputs, list):
+            raise _BadRequest("'output' must be a list of resource names")
+        policy = TwoLevelPolicy(secret_resources=secrets)
+        run = self.pipeline.run(
+            source,
+            self._options(payload),
+            policy=policy,
+            report_options={
+                "transitive": bool(payload.get("transitive", False)),
+                "restrict_to_ports": bool(payload.get("ports_only", False)),
+                "outputs": outputs or None,
+            },
+        )
+        return check_document(run, policy, file=file)
+
+    def _stats(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "command": "stats",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "requests": dict(sorted(self.request_counts.items())),
+        }
+        if self.cache is not None:
+            document["cache"] = self.cache.stats()
+        return document
+
+
+class _BadRequest(Exception):
+    """A request the server answers with a 4xx JSON error body."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class ServerThread:
+    """Run an :class:`AnalysisServer` on a background thread.
+
+    The context-manager form the tests and benchmarks use::
+
+        with ServerThread(AnalysisServer(port=0, cache=...)) as server:
+            ...  # server.port is the bound port
+
+    The event loop lives on the thread; ``__exit__`` stops it and joins.
+    """
+
+    def __init__(self, server: AnalysisServer):
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> AnalysisServer:
+        started = threading.Event()
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            self._loop.run_until_complete(self.server.start())
+            started.set()
+            self._loop.run_forever()
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="vhdl-ifa-serve", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("analysis server failed to start in time")
+        return self.server
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    cache: Optional[Any] = None,
+    announce=None,
+) -> None:
+    """Run a server until interrupted (the ``vhdl-ifa serve`` body).
+
+    ``announce`` is called with the bound URL once the server is listening
+    (the CLI prints it to stderr); port 0 binds an ephemeral port.
+    """
+    server = AnalysisServer(host=host, port=port, cache=cache)
+
+    async def main() -> None:
+        await server.start()
+        if announce is not None:
+            announce(f"http://{server.host}:{server.port}")
+        await server.serve_forever()
+
+    asyncio.run(main())

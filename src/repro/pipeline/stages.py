@@ -20,10 +20,31 @@ report     the covert-channel report (only when a policy is given)
 Each stage is individually invokable (``Pipeline.run(..., until="cfg")``
 stops after the CFG; ``PipelineResult.artifacts`` exposes every intermediate
 artefact), wall-clock timed (``PipelineResult.timings``), and backed by a
-content-addressed :class:`~repro.pipeline.cache.ArtifactCache` keyed by
-source hash + entity + the analysis options the stage depends on — so
-repeated runs of the same design skip straight to the cached artefacts
-(``PipelineResult.cached_stages`` says which).
+content-addressed artifact cache (any of the stores in
+:mod:`repro.pipeline.cache` — in-memory, on-disk, or the two-tier
+composition) keyed by source hash + the analysis options the stage depends
+on — so repeated runs of the same design skip straight to the cached
+artefacts (``PipelineResult.cached_stages`` says which), across process
+restarts when the cache has a disk tier.
+
+The :class:`AnalysisOptions` fields each stage's cache key includes
+(``Stage.option_fields``; see also ``docs/architecture.md``):
+
+========== ==========================================================
+stage      cache-key option fields (plus the stage name + source hash)
+========== ==========================================================
+parse      —
+elaborate  entity
+cfg        entity, loop_processes
+active     entity, loop_processes
+reaching   entity, loop_processes, use_under_approximation
+local      entity, loop_processes
+specialize entity, loop_processes, use_under_approximation
+closure    entity, loop_processes, use_under_approximation, improved
+flow_graph entity, loop_processes, use_under_approximation, improved
+kemmerer   entity, loop_processes
+report     never cached (cheap, policy-dependent)
+========== ==========================================================
 
 Universe discipline: stages from ``local`` onward intern resource names into
 the run's :class:`~repro.dataflow.universe.FactUniverse`.  Their cached
