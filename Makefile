@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench check docs examples
+.PHONY: test bench check docs examples schema
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -15,9 +15,17 @@ check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/run_benchmarks.py --compare BENCH_scaling.json
 
-# Docs gate: internal links resolve and docs/cli.md matches cli.py.
+# Docs gate: internal links resolve, docs/cli.md matches cli.py, and the
+# policy-file keys documented in docs/api.md match security/policy_file.py.
 docs:
 	$(PYTHON) scripts/check_docs.py
+
+# JSON contract gate: fails when the committed docs/schema_v1.json drifts
+# from the live schema (repro.pipeline.render.schema_v1).  Regenerate after
+# an intentional change with:
+#   PYTHONPATH=src $(PYTHON) scripts/dump_schema.py --write docs/schema_v1.json
+schema:
+	$(PYTHON) scripts/dump_schema.py --check docs/schema_v1.json
 
 examples:
 	scratch=$$(mktemp -d); for script in $(CURDIR)/examples/*.py; do \

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency gate (no dependencies beyond the stdlib).
 
-Checks two things, and exits non-zero listing every failure:
+Checks three things, and exits non-zero listing every failure:
 
 1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
    every relative link target (minus any ``#anchor``) names an existing
@@ -10,6 +10,9 @@ Checks two things, and exits non-zero listing every failure:
    every ``## `name ...``` heading in the CLI reference names a real
    ``vhdl-ifa`` subcommand, and every subcommand registered in ``cli.py``
    has a heading in the reference.
+3. ``docs/api.md`` and ``src/repro/security/policy_file.py`` agree on the
+   policy-file key set: the table between the ``policy-file-keys`` markers
+   in the docs must list exactly the ``POLICY_KEYS`` of the loader.
 
 Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
 CI runs it as the ``docs`` job.
@@ -29,6 +32,12 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _CLI_HEADING = re.compile(r"^#{2,3}\s+`([a-z][a-z-]*)", re.MULTILINE)
 #: sub.add_parser("analyze", ...) — only the top-level subparser object.
 _ADD_PARSER = re.compile(r"\bsub\.add_parser\(\s*[\"']([a-z-]+)[\"']")
+#: POLICY_KEYS = ("name", ...) — the policy-file loader's key tuple.
+_POLICY_KEYS = re.compile(r"^POLICY_KEYS\s*=\s*\(([^)]*)\)", re.MULTILINE)
+#: | `key` | ... — the first backticked cell of a table row.
+_KEY_ROW = re.compile(r"^\|\s*`([a-z_]+)`", re.MULTILINE)
+#: The fenced region of docs/api.md holding the policy-key table.
+_KEY_MARKERS = ("<!-- policy-file-keys:start -->", "<!-- policy-file-keys:end -->")
 
 
 def _is_external(target: str) -> bool:
@@ -78,12 +87,44 @@ def check_cli_reference() -> list[str]:
     return failures
 
 
+def check_policy_keys() -> list[str]:
+    """``docs/api.md`` must document exactly the loader's ``POLICY_KEYS``."""
+    api_doc = REPO_ROOT / "docs" / "api.md"
+    loader = REPO_ROOT / "src" / "repro" / "security" / "policy_file.py"
+    failures = []
+    match = _POLICY_KEYS.search(loader.read_text(encoding="utf-8"))
+    if match is None:
+        return [f"{loader.relative_to(REPO_ROOT)}: found no POLICY_KEYS tuple"]
+    declared = set(re.findall(r"[\"']([a-z_]+)[\"']", match.group(1)))
+    text = api_doc.read_text(encoding="utf-8")
+    start, end = _KEY_MARKERS
+    if start not in text or end not in text:
+        return [
+            f"docs/api.md: missing the {start} / {end} markers around the "
+            "policy-file key table"
+        ]
+    table = text.split(start, 1)[1].split(end, 1)[0]
+    documented = set(_KEY_ROW.findall(table))
+    for key in sorted(documented - declared):
+        failures.append(
+            f"docs/api.md documents policy-file key {key!r} but "
+            "security/policy_file.py POLICY_KEYS does not declare it"
+        )
+    for key in sorted(declared - documented):
+        failures.append(
+            f"security/policy_file.py declares policy-file key {key!r} but "
+            "the docs/api.md key table does not document it"
+        )
+    return failures
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md"]
     docs_dir = REPO_ROOT / "docs"
     documents.extend(sorted(docs_dir.glob("*.md")))
     failures = check_links(documents)
     failures.extend(check_cli_reference())
+    failures.extend(check_policy_keys())
     for failure in failures:
         print(f"docs check: {failure}", file=sys.stderr)
     if failures:
@@ -91,7 +132,8 @@ def main() -> int:
         return 1
     print(
         f"docs check: {len(documents)} documents OK "
-        "(links resolve, CLI reference matches cli.py)"
+        "(links resolve, CLI reference matches cli.py, policy keys match "
+        "policy_file.py)"
     )
     return 0
 

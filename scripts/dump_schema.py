@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Dump or gate the ``vhdl-ifa/v1`` JSON document schema.
+
+The authoritative schema is :func:`repro.pipeline.render.schema_v1`; the
+committed copy is ``docs/schema_v1.json``.  ``--check`` fails (exit 1) when
+the two drift, which makes every contract change an explicit, reviewed diff;
+``--write`` refreshes the committed copy after an intentional change.
+
+Run via ``make schema`` (check) or
+``PYTHONPATH=src python scripts/dump_schema.py --write docs/schema_v1.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.pipeline.render import schema_v1  # noqa: E402
+
+
+def schema_text() -> str:
+    return json.dumps(schema_v1(), indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--check", metavar="FILE", help="fail when FILE drifts from the live schema"
+    )
+    group.add_argument(
+        "--write", metavar="FILE", help="(re)write FILE with the live schema"
+    )
+    args = parser.parse_args()
+
+    text = schema_text()
+    if args.write:
+        Path(args.write).write_text(text, encoding="utf-8")
+        print(f"schema: wrote {args.write}")
+        return 0
+
+    path = Path(args.check)
+    try:
+        committed = path.read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"schema check: cannot read {path}: {error}", file=sys.stderr)
+        return 1
+    if committed != text:
+        print(
+            f"schema check: {path} drifted from repro.pipeline.render.schema_v1();\n"
+            f"  regenerate with: PYTHONPATH=src python scripts/dump_schema.py "
+            f"--write {path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"schema check: {path} matches the live v1 schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

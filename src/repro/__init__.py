@@ -26,18 +26,21 @@ from repro.analysis.api import (
     analyze_kemmerer,
 )
 from repro.analysis.flowgraph import FlowGraph
+from repro.version import __version__, version
 from repro.vhdl.parser import parse_program
 from repro.vhdl.elaborate import elaborate
-
-__version__ = "1.0.0"
+from repro.workspace import CheckResult, Workspace
 
 __all__ = [
     "AnalysisResult",
+    "CheckResult",
     "FlowGraph",
+    "Workspace",
     "analyze",
     "analyze_design",
     "analyze_kemmerer",
     "parse_program",
     "elaborate",
+    "version",
     "__version__",
 ]

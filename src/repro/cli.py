@@ -1,5 +1,11 @@
 """Command-line interface: ``vhdl-ifa``.
 
+Every analysis subcommand is a thin shell over one
+:class:`repro.workspace.Workspace` — the v1 session facade that owns the
+artifact cache, the resource-name universe and the named-policy registry —
+so the CLI, the batch driver and the serve mode produce byte-identical
+documents by construction.
+
 Subcommands
 -----------
 ``analyze FILE``
@@ -9,16 +15,16 @@ Subcommands
 ``kemmerer FILE``
     Run Kemmerer's baseline for comparison.  Takes the same ``--collapse`` /
     ``--self-loops`` graph-shaping flags as ``analyze``.
-``check FILE --secret S [--output O]``
-    Run the analysis and check a two-level policy (the listed secrets must not
-    flow anywhere public — with ``--output`` restricted to flows into the
-    listed sinks); exits with status 1 when a violation is found.  Takes the
-    same ``--basic`` / ``--straight-line`` analysis flags as ``analyze``, and
-    ``--json`` for a structured verdict.
+``check FILE --secret S [--output O]`` / ``check FILE --policy FILE``
+    Run the analysis and check a policy: either the two-level policy built
+    from ``--secret``/``--output``, or a declarative TOML/JSON policy file
+    (clearance levels, resource patterns, permitted flows, checking mode).
+    Exits with status 3 when a violation is found.
 ``batch FILE [FILE ...]``
     Analyse many files (or every entity of each file with ``--all-entities``)
     through the staged pipeline, in parallel by default; per-file output is
-    byte-identical to running ``analyze`` on each file.
+    byte-identical to running ``analyze`` on each file.  With ``--policy``
+    every job becomes a policy check.
 ``simulate FILE --set PORT=VALUE``
     Execute the design with the delta-cycle simulator and print the final
     signal values.  All ``--set`` stimuli are validated before the first
@@ -26,15 +32,23 @@ Subcommands
 ``cache stats|clear --cache-dir DIR``
     Inspect or empty the persistent artifact store.
 ``serve``
-    Long-lived HTTP service: ``POST /analyze``, ``POST /check`` and
-    ``GET /stats`` over one warm two-tier cache; responses are byte-identical
-    to ``analyze --json`` / ``check --json``.
+    Long-lived HTTP service: ``POST /analyze``, ``POST /check``,
+    ``POST /policy``, ``GET /version`` and ``GET /stats`` over one warm
+    two-tier cache; responses are byte-identical to ``analyze --json`` /
+    ``check --json``.
 
-All analysis subcommands run on :class:`repro.pipeline.Pipeline` and accept
-``--cache-dir DIR`` (persist artifacts across invocations in a
-:class:`repro.pipeline.cache.DiskArtifactCache`) and ``--no-cache`` (bypass
-every cache tier).  See ``docs/cli.md`` for the full reference and
-``docs/cache.md`` for the cache design.
+Exit codes (uniform across subcommands, see ``docs/cli.md``):
+``0`` success (and a clean ``check``); ``1`` analysis or policy error (any
+:class:`~repro.errors.ReproError`: parse, elaboration, analysis, policy-file
+validation, bad ``--set``/``--output``); ``2`` unreadable or undecodable
+input and usage errors; ``3`` policy violation found (``check``, and
+``batch --policy``); ``141`` broken pipe.
+
+All analysis subcommands accept ``--cache-dir DIR`` (persist artifacts
+across invocations in a :class:`repro.pipeline.cache.DiskArtifactCache`) and
+``--no-cache`` (bypass every cache tier).  See ``docs/cli.md`` for the full
+reference, ``docs/api.md`` for the Workspace API and the policy file format,
+and ``docs/cache.md`` for the cache design.
 """
 
 from __future__ import annotations
@@ -45,43 +59,42 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.pipeline.artifacts import AnalysisOptions
-from repro.pipeline.batch import default_workers, expand_jobs, run_batch
-from repro.pipeline.cache import DiskArtifactCache, open_cache
+from repro.pipeline.cache import DiskArtifactCache
 from repro.pipeline.render import (
     analyze_document,
-    check_document,
     json_text,
     render_adjacency,
     render_analysis_text,
+    stamped,
 )
+from repro.pipeline.batch import default_workers
 from repro.pipeline.serve import serve
-from repro.pipeline.stages import Pipeline
 from repro.security.policy import TwoLevelPolicy
 from repro.semantics.simulator import Simulator
+from repro.version import version
 from repro.vhdl.elaborate import elaborate
 from repro.vhdl.parser import parse_program
 from repro.vhdl.stdlogic import value_to_string
+from repro.workspace import Workspace
+
+#: The uniform exit-code contract (asserted by the test suite).
+EXIT_OK = 0
+EXIT_ERROR = 1  # any ReproError: parse/elaboration/analysis/policy errors
+EXIT_INPUT = 2  # unreadable or undecodable input, usage errors
+EXIT_VIOLATION = 3  # `check` (or `batch --policy`) found a policy violation
+EXIT_PIPE = 141  # downstream closed our stdout (conventional SIGPIPE status)
 
 
 def _read_source(path: str) -> str:
     return Path(path).read_text(encoding="utf-8")
 
 
-def _analysis_options(args: argparse.Namespace) -> AnalysisOptions:
-    return AnalysisOptions(
-        entity=args.entity,
-        improved=not args.basic,
-        loop_processes=not args.straight_line,
-    )
-
-
 def _print_json(document: dict) -> None:
     print(json_text(document))
 
 
-def _build_cache(args: argparse.Namespace, memory_default: bool = False):
-    """The cache an invocation runs on, from ``--cache-dir``/``--no-cache``.
+def _workspace(args: argparse.Namespace, memory_default: bool = False) -> Workspace:
+    """The session facade an invocation runs on, from the cache flags.
 
     ``memory_default`` controls what a plain invocation gets: single-shot
     commands default to no cache at all (one run cannot hit it), while the
@@ -89,15 +102,30 @@ def _build_cache(args: argparse.Namespace, memory_default: bool = False):
     jobs.
     """
     if getattr(args, "no_cache", False):
-        return None
-    return open_cache(
-        getattr(args, "cache_dir", None), memory=memory_default
+        return Workspace(cache=None)
+    return Workspace(
+        cache_dir=getattr(args, "cache_dir", None), memory_cache=memory_default
     )
 
 
+def _analysis_opts(args: argparse.Namespace) -> dict:
+    return {
+        "entity": args.entity,
+        "improved": not args.basic,
+        "loop_processes": not args.straight_line,
+    }
+
+
+def _policy_for(args: argparse.Namespace, workspace: Workspace):
+    """The policy a ``check``/``batch`` invocation enforces."""
+    if getattr(args, "policy", None):
+        return workspace.load_policy(args.policy)
+    return TwoLevelPolicy(secret_resources=args.secret)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    run = Pipeline(_build_cache(args)).run(
-        _read_source(args.file), _analysis_options(args)
+    run = _workspace(args).analyze_run(
+        _read_source(args.file), **_analysis_opts(args)
     )
     if args.json:
         _print_json(
@@ -106,7 +134,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 file=args.file,
             )
         )
-        return 0
+        return EXIT_OK
     print(
         render_analysis_text(
             run.result,
@@ -115,16 +143,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             dot=args.dot,
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_kemmerer(args: argparse.Namespace) -> int:
-    options = AnalysisOptions(
-        entity=args.entity, loop_processes=not args.straight_line
-    )
     result = (
-        Pipeline(_build_cache(args))
-        .run_kemmerer(_read_source(args.file), options)
+        _workspace(args)
+        .kemmerer_run(
+            _read_source(args.file),
+            entity=args.entity,
+            loop_processes=not args.straight_line,
+        )
         .kemmerer
     )
     graph = result.graph if args.self_loops else result.graph.without_self_loops()
@@ -136,60 +165,58 @@ def _cmd_kemmerer(args: argparse.Namespace) -> int:
     else:
         for line in render_adjacency(graph):
             print(line)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    policy = TwoLevelPolicy(secret_resources=args.secret)
-    run = Pipeline(_build_cache(args)).run(
-        _read_source(args.file),
-        _analysis_options(args),
-        policy=policy,
-        report_options={
-            "transitive": args.transitive,
-            "restrict_to_ports": args.ports_only,
-            "outputs": args.output or None,
-        },
-    )
-    report = run.report
-    if args.json:
-        _print_json(check_document(run, policy, file=args.file))
+    workspace = _workspace(args)
+    if args.transitive:
+        transitive = True
+    elif args.direct:
+        transitive = False
     else:
-        print(report.to_text())
-    return 0 if report.is_clean else 1
+        transitive = None  # defer to the policy's own mode
+    checked = workspace.check(
+        _read_source(args.file),
+        _policy_for(args, workspace),
+        outputs=args.output or None,
+        transitive=transitive,
+        restrict_to_ports=args.ports_only,
+        **_analysis_opts(args),
+    )
+    if args.json:
+        _print_json(checked.document(file=args.file))
+    else:
+        print(checked.to_text())
+    return checked.exit_code
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    # Sequential runs share one in-process cache across expansion and every
-    # job (repeated files, and each entity of a multi-entity file, reuse the
-    # parse/elaborate artifacts).  The parallel path gets the per-worker
-    # caches the pool initializer installs instead — layered over the shared
-    # disk tier when --cache-dir is given, in which case the expansion cache
-    # also seeds the parse artifacts onto disk for the workers.
-    cache_dir = None if args.no_cache else args.cache_dir
-    if args.sequential:
-        cache = _build_cache(args, memory_default=True)
-    else:
-        cache = open_cache(cache_dir) if cache_dir is not None else None
-    jobs = expand_jobs(args.files, all_entities=args.all_entities, cache=cache)
-    options = AnalysisOptions(
-        improved=not args.basic, loop_processes=not args.straight_line
-    )
-    report = run_batch(
-        jobs,
-        options,
+    if args.policy and (args.dot or args.collapse or args.self_loops):
+        # Policy jobs render covert-channel reports, not graphs: rejecting
+        # the combination beats silently ignoring the flags.
+        print(
+            "error: --dot/--collapse/--self-loops shape the analyze-style "
+            "graph output and do not apply with --policy",
+            file=sys.stderr,
+        )
+        return EXIT_INPUT
+    workspace = _workspace(args, memory_default=args.sequential)
+    report = workspace.batch(
+        args.files,
+        all_entities=args.all_entities,
+        parallel=not args.sequential,
+        max_workers=args.jobs,
+        policy=_policy_for(args, workspace) if args.policy else None,
         collapse=args.collapse,
         self_loops=args.self_loops,
         dot=args.dot,
-        parallel=not args.sequential,
-        max_workers=args.jobs,
-        cache=cache,
-        cache_dir=cache_dir,
-        no_cache=args.no_cache,
+        improved=not args.basic,
+        loop_processes=not args.straight_line,
     )
     if args.json:
         _print_json(report.to_json_dict())
-        return 0 if report.ok else 2
+        return report.exit_code
     for item in report.items:
         print(f"== {item.job.label} ==")
         if item.ok:
@@ -202,7 +229,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{report.elapsed:.3f}s ({mode}, {report.workers} worker(s))",
         file=sys.stderr,
     )
-    return 0 if report.ok else 2
+    return report.exit_code
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -225,7 +252,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"delta cycles: {simulator.delta_cycles}")
     for name, value in sorted(simulator.signal_snapshot().items()):
         print(f"  {name} = {value_to_string(value)}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -237,11 +264,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"cleared {before['entries']} entries "
             f"({before['bytes']} bytes) from {args.cache_dir}"
         )
-        return 0
+        return EXIT_OK
     stats = cache.stats()
     if args.json:
-        _print_json({"command": "cache-stats", **stats})
-        return 0
+        _print_json(stamped({"command": "cache-stats", **stats}))
+        return EXIT_OK
     print(f"cache dir: {stats['path']} (format v{stats['version']})")
     print(
         f"entries: {stats['entries']} ({stats['bytes']} bytes of "
@@ -249,25 +276,27 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     )
     for stage, count in stats["stages"].items():
         print(f"  {stage}: {count}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     # The server always keeps the in-memory tier (that is the point of a
     # long-lived process) unless --no-cache asks for cold runs throughout.
-    cache = None if args.no_cache else open_cache(args.cache_dir, memory=True)
+    workspace = _workspace(args, memory_default=True)
+    for policy_file in args.policy or []:
+        workspace.load_policy(policy_file)
     try:
         serve(
             host=args.host,
             port=args.port,
-            cache=cache,
+            workspace=workspace,
             announce=lambda url: print(
                 f"vhdl-ifa serve: listening on {url}", file=sys.stderr
             ),
         )
     except KeyboardInterrupt:
         pass
-    return 0
+    return EXIT_OK
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
@@ -306,6 +335,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="vhdl-ifa",
         description="Information Flow analysis for VHDL1 (Tolstrup/Nielson/Nielson, PaCT 2005)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {version()}",
+        help="print the package version and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze_p = sub.add_parser("analyze", help="run the information-flow analysis")
@@ -330,10 +365,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(kem_p)
     kem_p.set_defaults(handler=_cmd_kemmerer)
 
-    check_p = sub.add_parser("check", help="check a two-level confidentiality policy")
+    check_p = sub.add_parser("check", help="check a confidentiality policy")
     check_p.add_argument("file", help="VHDL1 source file")
     check_p.add_argument("--entity", default=None)
-    check_p.add_argument("--secret", action="append", default=[], help="resource holding secret data (repeatable)")
+    policy_group = check_p.add_mutually_exclusive_group()
+    policy_group.add_argument(
+        "--secret",
+        action="append",
+        default=[],
+        help="resource holding secret data (repeatable; two-level policy)",
+    )
+    policy_group.add_argument(
+        "--policy",
+        default=None,
+        metavar="FILE",
+        help="declarative TOML/JSON policy file (levels, resources, allowed flows)",
+    )
     check_p.add_argument(
         "--output",
         action="append",
@@ -342,10 +389,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
     check_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
-    check_p.add_argument(
+    mode_group = check_p.add_mutually_exclusive_group()
+    mode_group.add_argument(
         "--transitive",
         action="store_true",
         help="check paths instead of direct edges (Kemmerer-style, conservative)",
+    )
+    mode_group.add_argument(
+        "--direct",
+        action="store_true",
+        help="check direct edges only, overriding a policy file's mode = \"transitive\"",
     )
     check_p.add_argument(
         "--ports-only",
@@ -380,6 +433,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sequential",
         action="store_true",
         help="run in-process instead of over a worker pool",
+    )
+    batch_p.add_argument(
+        "--policy",
+        default=None,
+        metavar="FILE",
+        help="check every job against this TOML/JSON policy file",
     )
     batch_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
     batch_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
@@ -424,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--port", type=int, default=8765, help="TCP port (0 binds an ephemeral one)"
     )
+    serve_p.add_argument(
+        "--policy",
+        action="append",
+        metavar="FILE",
+        help="pre-register a named TOML/JSON policy for POST /check (repeatable)",
+    )
     _add_cache_flags(serve_p)
     serve_p.set_defaults(handler=_cmd_serve)
 
@@ -437,20 +502,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.handler(args)
     except ReproError as error:
+        # Everything the toolchain itself diagnoses — parse, elaboration,
+        # analysis, policy-file validation, bad --set/--output — is an
+        # analysis error: exit 1.
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
     except BrokenPipeError:
         # Downstream closed our stdout (e.g. `vhdl-ifa ... | head`); exit
-        # quietly with the conventional SIGPIPE status — 1 and 2 are taken
-        # by "violation found" and "user error".
-        return 141
+        # quietly with the conventional SIGPIPE status.
+        return EXIT_PIPE
     except (OSError, UnicodeDecodeError) as error:
-        # A missing, unreadable or non-UTF-8 input file is a user error, not
-        # a crash: report it the same way as a ReproError instead of a raw
-        # traceback.  (UnicodeDecodeError is a ValueError, so the OSError net
+        # A missing, unreadable or non-UTF-8 input file is an input error,
+        # reported as one line, not a traceback: exit 2, like argparse usage
+        # errors.  (UnicodeDecodeError is a ValueError, so the OSError net
         # alone would not catch it.)
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_INPUT
 
 
 if __name__ == "__main__":

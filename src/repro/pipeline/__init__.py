@@ -34,13 +34,18 @@ from repro.pipeline.cache import (
     source_digest,
 )
 from repro.pipeline.render import (
+    SCHEMA_VERSION,
     analysis_json,
     analyze_document,
     check_document,
     json_text,
+    policy_summary,
     render_analysis_text,
     report_json,
+    schema_v1,
     select_graph,
+    stamped,
+    version_document,
 )
 from repro.pipeline.serve import AnalysisServer, ServerThread, serve
 from repro.pipeline.stages import (
@@ -55,6 +60,7 @@ from repro.pipeline.stages import (
 
 __all__ = [
     "ANALYSIS_STAGES",
+    "SCHEMA_VERSION",
     "AnalysisOptions",
     "AnalysisResult",
     "AnalysisServer",
@@ -79,12 +85,16 @@ __all__ = [
     "expand_jobs",
     "json_text",
     "open_cache",
+    "policy_summary",
     "render_analysis_text",
     "report_json",
     "run_batch",
     "run_job",
+    "schema_v1",
     "select_graph",
     "serve",
     "source_digest",
     "stage_key",
+    "stamped",
+    "version_document",
 ]

@@ -35,7 +35,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.errors import ReproError
 from repro.pipeline.artifacts import AnalysisOptions
 from repro.pipeline.cache import open_cache, source_digest
-from repro.pipeline.render import analysis_json, render_analysis_text, select_graph
+from repro.pipeline.render import (
+    analysis_json,
+    policy_summary,
+    render_analysis_text,
+    report_json,
+    select_graph,
+    stamped,
+)
 from repro.pipeline.stages import PARSE, Pipeline, stage_key
 from repro.vhdl.parser import parse_program
 
@@ -43,6 +50,17 @@ from repro.vhdl.parser import parse_program
 #: files that are not valid UTF-8 (UnicodeDecodeError is a ValueError, so the
 #: OSError net alone would let it escape as a crash).
 _JOB_ERRORS = (ReproError, OSError, UnicodeDecodeError)
+
+
+def _error_kind(error: BaseException) -> str:
+    """Classify a job failure for exit-code purposes.
+
+    ``"analysis"`` is everything the toolchain itself diagnoses (parse,
+    elaboration, analysis and policy errors — any :class:`ReproError`);
+    ``"input"`` is a file the job could not even read (missing, unreadable,
+    not UTF-8).  The CLI maps these to exit codes 1 and 2 respectively.
+    """
+    return "analysis" if isinstance(error, ReproError) else "input"
 
 
 @dataclass(frozen=True)
@@ -60,14 +78,21 @@ class BatchJob:
 
 @dataclass
 class BatchItem:
-    """The outcome of one job: rendered text, JSON payload, or an error."""
+    """The outcome of one job: rendered text, JSON payload, or an error.
+
+    ``error_kind`` classifies a failure (``"analysis"`` vs ``"input"``, see
+    :func:`_error_kind`); ``clean`` is the policy verdict when the batch ran
+    with a policy (``None`` otherwise).
+    """
 
     job: BatchJob
     ok: bool
     text: str = ""
     error: Optional[str] = None
+    error_kind: Optional[str] = None
     data: Optional[Dict[str, Any]] = None
     seconds: float = 0.0
+    clean: Optional[bool] = None
 
 
 @dataclass
@@ -78,6 +103,7 @@ class BatchReport:
     elapsed: float = 0.0
     parallel: bool = False
     workers: int = 1
+    policy: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -89,26 +115,58 @@ class BatchReport:
         """The failed jobs, in submission order."""
         return [item for item in self.items if not item.ok]
 
+    @property
+    def violations_found(self) -> bool:
+        """True when a policy ran and at least one job was not clean."""
+        return any(item.clean is False for item in self.items)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code for this run, most severe condition first:
+        2 when any job failed on unreadable input, 1 when any job failed in
+        analysis, 3 when every job ran but a policy violation was found,
+        0 otherwise — mirroring the single-file subcommands.
+        """
+        failures = self.failures
+        if any(item.error_kind == "input" for item in failures):
+            return 2
+        if failures:
+            return 1
+        if self.violations_found:
+            return 3
+        return 0
+
     def to_json_dict(self) -> Dict[str, Any]:
         """The ``--json`` document for a whole batch run."""
-        return {
+        document: Dict[str, Any] = {
             "command": "batch",
             "parallel": self.parallel,
             "workers": self.workers,
-            "jobs": [
-                {
-                    "file": item.job.path,
-                    "entity": item.job.entity,
-                    "ok": item.ok,
-                    "seconds": round(item.seconds, 6),
-                    **({"error": item.error} if item.error is not None else {}),
-                    **(item.data or {}),
-                }
-                for item in self.items
-            ],
-            "elapsed": round(self.elapsed, 6),
-            "failed": len(self.failures),
         }
+        if self.policy is not None:
+            document["policy"] = policy_summary(self.policy)
+        document.update(
+            {
+                "jobs": [
+                    {
+                        "file": item.job.path,
+                        "entity": item.job.entity,
+                        "ok": item.ok,
+                        "seconds": round(item.seconds, 6),
+                        **(
+                            {"error": item.error, "error_kind": item.error_kind}
+                            if item.error is not None
+                            else {}
+                        ),
+                        **(item.data or {}),
+                    }
+                    for item in self.items
+                ],
+                "elapsed": round(self.elapsed, 6),
+                "failed": len(self.failures),
+            }
+        )
+        return stamped(document)
 
 
 def entities_in(source: str) -> List[str]:
@@ -160,8 +218,16 @@ def run_job(
     self_loops: bool = False,
     dot: bool = False,
     pipeline: Optional[Pipeline] = None,
+    policy: Optional[Any] = None,
 ) -> BatchItem:
-    """Analyse one job and render its output; errors become the outcome."""
+    """Analyse one job and render its output; errors become the outcome.
+
+    Without a policy the outcome is the ``analyze`` rendering (text and the
+    ``analysis_json`` payload).  With a policy the job becomes a check: the
+    pipeline's report stage runs (in the policy's preferred transitive mode),
+    the text is the covert-channel report, the payload is the ``check``-style
+    report document, and ``clean`` carries the verdict.
+    """
     if pipeline is None:
         pipeline = Pipeline()
     started = time.perf_counter()
@@ -169,6 +235,23 @@ def run_job(
         source = Path(job.path).read_text(encoding="utf-8")
         if job.entity is not None:
             options = dataclasses.replace(options, entity=job.entity)
+        if policy is not None:
+            run = pipeline.run(
+                source,
+                options,
+                policy=policy,
+                report_options={
+                    "transitive": bool(getattr(policy, "transitive", False))
+                },
+            )
+            return BatchItem(
+                job=job,
+                ok=True,
+                text=run.report.to_text(),
+                data=report_json(run),
+                seconds=time.perf_counter() - started,
+                clean=run.report.is_clean,
+            )
         run = pipeline.run(source, options)
         graph = select_graph(run.result, collapse, self_loops)
         text = render_analysis_text(
@@ -189,6 +272,7 @@ def run_job(
             job=job,
             ok=False,
             error=str(error),
+            error_kind=_error_kind(error),
             seconds=time.perf_counter() - started,
         )
 
@@ -205,7 +289,7 @@ def _init_worker(cache_dir: Optional[str] = None, no_cache: bool = False) -> Non
 
 
 def _run_job_in_worker(payload) -> BatchItem:
-    job, options, collapse, self_loops, dot = payload
+    job, options, collapse, self_loops, dot, policy = payload
     return run_job(
         job,
         options,
@@ -213,6 +297,7 @@ def _run_job_in_worker(payload) -> BatchItem:
         self_loops=self_loops,
         dot=dot,
         pipeline=_WORKER_PIPELINE,
+        policy=policy,
     )
 
 
@@ -233,6 +318,7 @@ def run_batch(
     cache: Optional[Any] = None,
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
+    policy: Optional[Any] = None,
 ) -> BatchReport:
     """Analyse every job; results come back in submission order.
 
@@ -243,12 +329,13 @@ def run_batch(
     there, and ``no_cache=True`` gives the workers no cache at all).
     ``parallel=False`` runs in-process, threading ``cache`` through every
     job — run two batches over the same cache and the second one is served
-    from warm artifacts.
+    from warm artifacts.  ``policy`` turns every job into a policy check
+    (see :func:`run_job`); the policy must be picklable for parallel runs.
     """
     if options is None:
         options = AnalysisOptions()
     job_list = list(jobs)
-    report = BatchReport(parallel=parallel)
+    report = BatchReport(parallel=parallel, policy=policy)
     started = time.perf_counter()
 
     if parallel:
@@ -256,7 +343,7 @@ def run_batch(
         workers = max(1, min(workers, len(job_list) or 1))
         report.workers = workers
         payloads = [
-            (job, options, collapse, self_loops, dot) for job in job_list
+            (job, options, collapse, self_loops, dot, policy) for job in job_list
         ]
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -279,6 +366,7 @@ def run_batch(
                 self_loops=self_loops,
                 dot=dot,
                 pipeline=pipeline,
+                policy=policy,
             )
             for job in job_list
         ]

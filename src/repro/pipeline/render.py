@@ -18,6 +18,21 @@ import json
 from typing import Any, Dict, List, Optional
 
 from repro.pipeline.artifacts import AnalysisResult, PipelineResult
+from repro.version import version
+
+#: The versioned contract stamped (as ``"schema"``, always the first key) on
+#: every JSON document the toolchain emits — CLI ``--json`` bodies, batch
+#: documents, every serve-mode response.  Bumped only on breaking changes;
+#: ``make schema`` gates the committed ``docs/schema_v1.json`` against
+#: :func:`schema_v1`.
+SCHEMA_VERSION = "vhdl-ifa/v1"
+
+
+def stamped(document: Dict[str, Any]) -> Dict[str, Any]:
+    """``document`` with the ``"schema"`` version as its first key."""
+    if document.get("schema") == SCHEMA_VERSION:
+        return document
+    return {"schema": SCHEMA_VERSION, **document}
 
 
 def select_graph(result: AnalysisResult, collapse: bool, self_loops: bool):
@@ -123,6 +138,23 @@ def report_json(pipeline: PipelineResult, file: Optional[str] = None) -> Dict[st
     return document
 
 
+def policy_summary(policy: Any) -> Dict[str, Any]:
+    """The ``"policy"`` member of a ``check`` document.
+
+    Two-level policies keep their compact historical form (the sorted secret
+    list); every other policy is rendered as its full declarative document,
+    so a check driven by a policy file echoes the policy it enforced.
+    """
+    secrets = getattr(policy, "secret_resources", None)
+    if secrets is not None:
+        return {"secrets": sorted(secrets)}
+    # Imported lazily: repro.security pulls in repro.analysis.api, which
+    # imports this package (the same cycle the pipeline's report stage breaks).
+    from repro.security.policy_file import policy_to_dict
+
+    return policy_to_dict(policy)
+
+
 def analyze_document(
     pipeline: PipelineResult,
     collapse: bool = False,
@@ -130,10 +162,14 @@ def analyze_document(
     file: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The complete ``analyze --json`` document (CLI and server share it)."""
-    return {
-        "command": "analyze",
-        **analysis_json(pipeline, collapse=collapse, self_loops=self_loops, file=file),
-    }
+    return stamped(
+        {
+            "command": "analyze",
+            **analysis_json(
+                pipeline, collapse=collapse, self_loops=self_loops, file=file
+            ),
+        }
+    )
 
 
 def check_document(
@@ -142,11 +178,18 @@ def check_document(
     file: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The complete ``check --json`` document (CLI and server share it)."""
-    return {
-        "command": "check",
-        **report_json(pipeline, file=file),
-        "policy": {"secrets": sorted(policy.secret_resources)},
-    }
+    return stamped(
+        {
+            "command": "check",
+            **report_json(pipeline, file=file),
+            "policy": policy_summary(policy),
+        }
+    )
+
+
+def version_document() -> Dict[str, Any]:
+    """The ``GET /version`` document (package metadata version)."""
+    return stamped({"command": "version", "version": version()})
 
 
 def json_text(document: Dict[str, Any]) -> str:
@@ -157,3 +200,242 @@ def json_text(document: Dict[str, Any]) -> str:
     two byte-comparable.
     """
     return json.dumps(document, indent=2, ensure_ascii=False)
+
+
+def schema_v1() -> Dict[str, Any]:
+    """The machine-readable description of every ``vhdl-ifa/v1`` document.
+
+    This is the authoritative statement of the v1 contract: ``make schema``
+    (``scripts/dump_schema.py --check``) fails when this function drifts from
+    the committed ``docs/schema_v1.json``, so contract changes are always an
+    explicit, reviewed diff.  The layout is JSON Schema (draft-07) with one
+    definition per document ``command``.
+    """
+    timings = {
+        "type": "object",
+        "description": "stage name -> wall-clock seconds, in execution order",
+        "additionalProperties": {"type": "number"},
+    }
+    cached_stages = {
+        "type": "array",
+        "description": "stages served from the artifact cache, in order",
+        "items": {"type": "string"},
+    }
+    schema_field = {"const": SCHEMA_VERSION}
+    diagnostic = {
+        "type": "object",
+        "description": "one structured policy-check finding",
+        "required": [
+            "code", "severity", "message", "source", "target",
+            "source_level", "target_level", "path",
+        ],
+        "properties": {
+            "code": {
+                "type": "string",
+                "description": "stable code: IFA001 direct flow, IFA002 path flow",
+                "pattern": "^IFA[0-9]{3}$",
+            },
+            "severity": {"enum": ["error", "warning", "info"]},
+            "message": {"type": "string"},
+            "source": {"type": "string"},
+            "target": {"type": "string"},
+            "source_level": {"type": "string"},
+            "target_level": {"type": "string"},
+            "path": {"type": "array", "items": {"type": "string"}},
+        },
+    }
+    policy = {
+        "type": "object",
+        "description": "the enforced policy: secret list or full document",
+        "properties": {
+            "secrets": {"type": "array", "items": {"type": "string"}},
+            "name": {"type": "string"},
+            "description": {"type": "string"},
+            "mode": {"enum": ["channel-control", "transitive"]},
+            "default": {"type": "string"},
+            "levels": {"type": "object", "additionalProperties": {"type": "integer"}},
+            "resources": {"type": "object", "additionalProperties": {"type": "string"}},
+            "allow": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "required": ["from", "to"],
+                    "properties": {
+                        "from": {"type": "string"},
+                        "to": {"type": "string"},
+                    },
+                },
+            },
+        },
+    }
+    analyze = {
+        "type": "object",
+        "required": ["schema", "command", "design", "options", "summary", "graph"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "analyze"},
+            "file": {"type": "string"},
+            "design": {"type": "string"},
+            "options": {
+                "type": "object",
+                "properties": {
+                    "entity": {"type": ["string", "null"]},
+                    "improved": {"type": "boolean"},
+                    "loop_processes": {"type": "boolean"},
+                    "use_under_approximation": {"type": "boolean"},
+                },
+            },
+            "summary": {
+                "type": "object",
+                "additionalProperties": {"type": "integer"},
+            },
+            "graph": {
+                "type": "object",
+                "properties": {
+                    "collapse": {"type": "boolean"},
+                    "self_loops": {"type": "boolean"},
+                    "adjacency": {
+                        "type": "object",
+                        "additionalProperties": {
+                            "type": "array", "items": {"type": "string"},
+                        },
+                    },
+                },
+            },
+            "timings": timings,
+            "cached_stages": cached_stages,
+        },
+    }
+    check = {
+        "type": "object",
+        "required": ["schema", "command", "design", "clean", "violations", "policy"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "check"},
+            "file": {"type": "string"},
+            "design": {"type": "string"},
+            "clean": {"type": "boolean"},
+            "violations": {"type": "array", "items": {"$ref": "#/definitions/diagnostic"}},
+            "output_dependencies": {
+                "type": "object",
+                "additionalProperties": {"type": "array", "items": {"type": "string"}},
+            },
+            "summary": {"type": "object", "additionalProperties": {"type": "integer"}},
+            "timings": timings,
+            "cached_stages": cached_stages,
+            "policy": {"$ref": "#/definitions/policy"},
+        },
+    }
+    batch = {
+        "type": "object",
+        "required": ["schema", "command", "jobs", "elapsed", "failed"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "batch"},
+            "parallel": {"type": "boolean"},
+            "workers": {"type": "integer"},
+            "policy": {"$ref": "#/definitions/policy"},
+            "jobs": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "required": ["file", "ok"],
+                    "properties": {
+                        "file": {"type": "string"},
+                        "entity": {"type": ["string", "null"]},
+                        "ok": {"type": "boolean"},
+                        "seconds": {"type": "number"},
+                        "error": {"type": "string"},
+                        "error_kind": {"enum": ["analysis", "input"]},
+                        "clean": {"type": "boolean"},
+                        "violations": {
+                            "type": "array",
+                            "items": {"$ref": "#/definitions/diagnostic"},
+                        },
+                    },
+                },
+            },
+            "elapsed": {"type": "number"},
+            "failed": {"type": "integer"},
+        },
+    }
+    stats = {
+        "type": "object",
+        "required": ["schema", "command", "uptime_seconds", "requests"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "stats"},
+            "uptime_seconds": {"type": "number"},
+            "requests": {"type": "object", "additionalProperties": {"type": "integer"}},
+            "policies": {"type": "array", "items": {"type": "string"}},
+            "cache": {"type": "object"},
+        },
+    }
+    version_doc = {
+        "type": "object",
+        "required": ["schema", "command", "version"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "version"},
+            "version": {"type": "string"},
+        },
+    }
+    policy_doc = {
+        "type": "object",
+        "required": ["schema", "command", "valid", "policy"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "policy"},
+            "valid": {"const": True},
+            "registered": {"type": ["string", "null"]},
+            "policy": {"$ref": "#/definitions/policy"},
+        },
+    }
+    cache_stats = {
+        "type": "object",
+        "required": ["schema", "command", "entries"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "cache-stats"},
+            "path": {"type": "string"},
+            "version": {"type": "integer"},
+            "entries": {"type": "integer"},
+            "bytes": {"type": "integer"},
+            "max_bytes": {"type": "integer"},
+            "universes": {"type": "integer"},
+            "hits": {"type": "integer"},
+            "misses": {"type": "integer"},
+            "stages": {"type": "object", "additionalProperties": {"type": "integer"}},
+        },
+    }
+    error = {
+        "type": "object",
+        "description": "serve-mode 4xx/5xx body",
+        "required": ["schema", "error"],
+        "properties": {
+            "schema": schema_field,
+            "error": {"type": "string"},
+        },
+    }
+    return {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "title": "vhdl-ifa JSON documents",
+        "description": (
+            "Every JSON document emitted by the vhdl-ifa CLI (--json), the "
+            "batch driver and the serve mode carries a 'schema' field naming "
+            "this contract version; each document shape is defined here by "
+            "its 'command' value."
+        ),
+        "schema_version": SCHEMA_VERSION,
+        "definitions": {"diagnostic": diagnostic, "policy": policy},
+        "documents": {
+            "analyze": analyze,
+            "check": check,
+            "batch": batch,
+            "stats": stats,
+            "version": version_doc,
+            "policy": policy_doc,
+            "cache-stats": cache_stats,
+            "error": error,
+        },
+    }

@@ -6,6 +6,10 @@ A small asyncio HTTP server (stdlib only) that keeps one
 so repeated analyses of the same design are served from warm artifacts
 instead of re-paying parse/elaborate/closure on every invocation.
 
+The server is a thin shell over one :class:`repro.workspace.Workspace`
+(the v1 session facade): the workspace owns the warm cache and the named
+policy registry every request resolves against.
+
 Endpoints
 ---------
 ``POST /analyze``
@@ -16,18 +20,27 @@ Endpoints
     cache state (both sides render :func:`repro.pipeline.render.analyze_document`
     through :func:`repro.pipeline.render.json_text`).
 ``POST /check``
-    Body: the ``analyze`` keys plus ``secret`` (list), and the optional
-    ``output`` (list), ``transitive``, ``ports_only`` keys.  The response is
-    byte-identical to ``vhdl-ifa check FILE --json ...``.
+    Body: the ``analyze`` keys plus either ``secret`` (list, the two-level
+    policy) or ``policy`` (a registered policy name or an inline policy
+    document), and the optional ``output`` (list), ``transitive``,
+    ``ports_only`` keys.  The response is byte-identical to
+    ``vhdl-ifa check FILE --json ...``.
+``POST /policy``
+    Body: a declarative policy document (the TOML file format as JSON).
+    Validates it and echoes the normalised document; with a ``name`` key the
+    policy is also registered for later ``POST /check`` requests.
+``GET /version``
+    The package version (same source as ``vhdl-ifa --version``).
 ``GET /stats``
-    Uptime, per-endpoint request counters and the cache statistics of both
-    tiers.
+    Uptime, per-endpoint request counters, registered policies and the
+    cache statistics of both tiers.
 
 Analysis runs synchronously on the event loop: requests are effectively
 serialised, which is the honest behaviour for a CPU-bound single-process
 service (run several server processes over one ``--cache-dir`` to scale
 out; the disk tier is multi-process safe).  Errors never kill the server:
 bad JSON or a failing analysis become a ``4xx`` JSON body ``{"error": ...}``.
+Every response body carries the ``"schema": "vhdl-ifa/v1"`` stamp.
 """
 
 from __future__ import annotations
@@ -39,15 +52,19 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.pipeline.artifacts import AnalysisOptions
-from repro.pipeline.render import analyze_document, check_document, json_text
-from repro.pipeline.stages import Pipeline
+from repro.pipeline.render import (
+    analyze_document,
+    json_text,
+    stamped,
+    version_document,
+)
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
 }
@@ -59,18 +76,31 @@ _REQUEST_ERRORS = (ReproError, OSError, UnicodeDecodeError)
 
 
 class AnalysisServer:
-    """The request handlers plus the shared pipeline state of one server."""
+    """The request handlers plus the shared workspace state of one server.
+
+    ``workspace`` supplies the session state (cache, policy registry); when
+    omitted one is built around ``cache``.  ``self.pipeline`` aliases the
+    workspace's pipeline, so tests can keep instrumenting it directly.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8765,
         cache: Optional[Any] = None,
+        workspace: Optional[Any] = None,
     ):
+        # Imported here: repro.workspace imports this package's siblings, so
+        # a module-level import would be circular through repro.pipeline.
+        from repro.workspace import Workspace
+
+        if workspace is None:
+            workspace = Workspace(cache=cache)
+        self.workspace = workspace
         self.host = host
         self.port = port
-        self.cache = cache
-        self.pipeline = Pipeline(cache)
+        self.cache = workspace.cache
+        self.pipeline = workspace.pipeline
         self.started_at = time.time()
         self.request_counts: Dict[str, int] = {}
         self._server: Optional[asyncio.AbstractServer] = None
@@ -154,7 +184,8 @@ class AnalysisServer:
     async def _respond(
         self, writer: asyncio.StreamWriter, status: int, document: Dict[str, Any]
     ) -> None:
-        body = (json_text(document) + "\n").encode("utf-8")
+        # Every body carries the schema stamp — including error documents.
+        body = (json_text(stamped(document)) + "\n").encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
             "Content-Type: application/json; charset=utf-8\r\n"
@@ -172,14 +203,16 @@ class AnalysisServer:
     ) -> Tuple[int, Dict[str, Any]]:
         route = f"{method} {path}"
         self.request_counts[route] = self.request_counts.get(route, 0) + 1
-        if path == "/analyze" or path == "/check":
+        if path in ("/analyze", "/check", "/policy"):
             if method != "POST":
                 return 405, {"error": f"{path} expects POST, got {method}"}
             try:
                 payload = self._parse_payload(body)
                 if path == "/analyze":
                     return 200, self._analyze(payload)
-                return 200, self._check(payload)
+                if path == "/check":
+                    return 200, self._check(payload)
+                return 200, self._policy(payload)
             except _BadRequest as error:
                 return error.status, {"error": str(error)}
             except _REQUEST_ERRORS as error:
@@ -190,6 +223,10 @@ class AnalysisServer:
             if method != "GET":
                 return 405, {"error": f"/stats expects GET, got {method}"}
             return 200, self._stats()
+        if path == "/version":
+            if method != "GET":
+                return 405, {"error": f"/version expects GET, got {method}"}
+            return 200, version_document()
         return 404, {"error": f"unknown path {path!r}"}
 
     @staticmethod
@@ -220,16 +257,16 @@ class AnalysisServer:
         return source, None
 
     @staticmethod
-    def _options(payload: Dict[str, Any]) -> AnalysisOptions:
-        return AnalysisOptions(
-            entity=payload.get("entity"),
-            improved=not payload.get("basic", False),
-            loop_processes=not payload.get("straight_line", False),
-        )
+    def _analysis_keys(payload: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "entity": payload.get("entity"),
+            "improved": not payload.get("basic", False),
+            "loop_processes": not payload.get("straight_line", False),
+        }
 
     def _analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         source, file = self._load_source(payload)
-        run = self.pipeline.run(source, self._options(payload))
+        run = self.workspace.analyze_run(source, **self._analysis_keys(payload))
         return analyze_document(
             run,
             collapse=bool(payload.get("collapse", False)),
@@ -237,40 +274,87 @@ class AnalysisServer:
             file=file,
         )
 
-    def _check(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _resolve_policy(self, payload: Dict[str, Any]) -> Any:
+        """The policy of one ``/check`` request: named/inline, or two-level."""
         # Imported lazily: repro.security imports repro.analysis.api, which
         # itself imports this package (same cycle the report stage breaks).
         from repro.security.policy import TwoLevelPolicy
 
-        source, file = self._load_source(payload)
-        secrets = payload.get("secret", [])
+        spec = payload.get("policy")
+        secrets = payload.get("secret")
+        if spec is not None:
+            if secrets is not None:
+                raise _BadRequest("'policy' and 'secret' are mutually exclusive")
+            if not isinstance(spec, (str, dict)):
+                raise _BadRequest(
+                    "'policy' must be a registered policy name or a policy document"
+                )
+            return self.workspace.policy(spec)
+        if secrets is None:
+            secrets = []
         if not isinstance(secrets, list):
             raise _BadRequest("'secret' must be a list of resource names")
+        return TwoLevelPolicy(secret_resources=secrets)
+
+    def _check(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        source, file = self._load_source(payload)
         outputs = payload.get("output", [])
         if not isinstance(outputs, list):
             raise _BadRequest("'output' must be a list of resource names")
-        policy = TwoLevelPolicy(secret_resources=secrets)
-        run = self.pipeline.run(
+        policy = self._resolve_policy(payload)
+        transitive = payload.get("transitive")
+        checked = self.workspace.check(
             source,
-            self._options(payload),
-            policy=policy,
-            report_options={
-                "transitive": bool(payload.get("transitive", False)),
-                "restrict_to_ports": bool(payload.get("ports_only", False)),
-                "outputs": outputs or None,
-            },
+            policy,
+            outputs=outputs or None,
+            transitive=None if transitive is None else bool(transitive),
+            restrict_to_ports=bool(payload.get("ports_only", False)),
+            **self._analysis_keys(payload),
         )
-        return check_document(run, policy, file=file)
+        return checked.document(file=file)
+
+    def _policy(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate (and optionally register) a declarative policy document.
+
+        A name that is already registered — e.g. preloaded by the operator
+        via ``serve --policy`` — cannot be replaced with a *different*
+        policy: that would let any client silently weaken the verdicts of
+        later ``/check`` requests.  Re-posting an identical document is
+        idempotent and fine.
+        """
+        from repro.security.policy_file import policy_from_dict, policy_to_dict
+
+        policy = policy_from_dict(payload, context="request")
+        if policy.name is not None:
+            existing = self.workspace.policies.get(policy.name)
+            if existing is not None and policy_to_dict(existing) != policy_to_dict(
+                policy
+            ):
+                raise _BadRequest(
+                    f"policy {policy.name!r} is already registered with a "
+                    "different definition; pick another name",
+                    status=409,
+                )
+            self.workspace.register_policy(policy.name, policy)
+        return stamped(
+            {
+                "command": "policy",
+                "valid": True,
+                "registered": policy.name,
+                "policy": policy_to_dict(policy),
+            }
+        )
 
     def _stats(self) -> Dict[str, Any]:
         document: Dict[str, Any] = {
             "command": "stats",
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "requests": dict(sorted(self.request_counts.items())),
+            "policies": sorted(self.workspace.policies),
         }
         if self.cache is not None:
             document["cache"] = self.cache.stats()
-        return document
+        return stamped(document)
 
 
 class _BadRequest(Exception):
@@ -329,13 +413,15 @@ def serve(
     port: int = 8765,
     cache: Optional[Any] = None,
     announce=None,
+    workspace: Optional[Any] = None,
 ) -> None:
     """Run a server until interrupted (the ``vhdl-ifa serve`` body).
 
     ``announce`` is called with the bound URL once the server is listening
     (the CLI prints it to stderr); port 0 binds an ephemeral port.
+    ``workspace`` supplies a pre-configured session (cache, named policies).
     """
-    server = AnalysisServer(host=host, port=port, cache=cache)
+    server = AnalysisServer(host=host, port=port, cache=cache, workspace=workspace)
 
     async def main() -> None:
         await server.start()

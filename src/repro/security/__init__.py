@@ -16,14 +16,29 @@ from repro.security.policy import (
     TwoLevelPolicy,
     check_policy,
 )
-from repro.security.report import CovertChannelReport, build_report
+from repro.security.policy_file import (
+    POLICY_KEYS,
+    DeclaredPolicy,
+    PolicyFileError,
+    load_policy_file,
+    policy_from_dict,
+    policy_to_dict,
+)
+from repro.security.report import CovertChannelReport, Diagnostic, build_report
 
 __all__ = [
     "Clearance",
+    "DeclaredPolicy",
     "FlowPolicy",
+    "POLICY_KEYS",
+    "PolicyFileError",
     "PolicyViolation",
     "TwoLevelPolicy",
     "check_policy",
     "CovertChannelReport",
+    "Diagnostic",
     "build_report",
+    "load_policy_file",
+    "policy_from_dict",
+    "policy_to_dict",
 ]

@@ -62,12 +62,18 @@ class FlowPolicy:
     ``levels`` assigns a clearance to each resource (resources without an
     assignment get ``default_level``).  ``permitted`` lists the ordered pairs
     of clearances between which information may flow; flows within a level are
-    always permitted.
+    always permitted.  ``transitive`` records the policy's *preferred*
+    checking mode: ``False`` is the channel-control reading (direct edges
+    only, the paper's non-transitive result graph), ``True`` asks for the
+    classical all-paths noninterference check.  :func:`check_policy` still
+    takes an explicit ``transitive`` argument; the field is the default the
+    CLI and the serve mode use when the caller does not say.
     """
 
     levels: Dict[str, Clearance] = field(default_factory=dict)
     permitted: Set[Tuple[Clearance, Clearance]] = field(default_factory=set)
     default_level: Clearance = PUBLIC
+    transitive: bool = False
 
     def level_of(self, resource: str) -> Clearance:
         """The clearance of ``resource`` (``n◦``/``n•`` share ``n``'s level)."""

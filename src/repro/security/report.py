@@ -3,17 +3,82 @@
 The report packages what an evaluator needs: the design inventory, the flow
 graph statistics, the declared policy, every violation and, for each permitted
 flow into an output, the set of inputs it may depend on.
+
+Violations surface as structured :class:`Diagnostic` records rather than
+ad-hoc strings: each carries a stable code (:data:`DIRECT_FLOW` ``IFA001``
+for a forbidden direct flow, :data:`PATH_FLOW` ``IFA002`` for a forbidden
+flow witnessed only by a longer path), a severity, the offending source and
+target resources with their clearance levels, and the witness path.  The
+``vhdl-ifa/v1`` JSON documents embed ``Diagnostic.to_dict()`` verbatim (see
+``docs/api.md`` for the schema table).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.api import AnalysisResult
 from repro.analysis.resource_matrix import base_resource, incoming_node, outgoing_node
 from repro.errors import ReproError
 from repro.security.policy import FlowPolicy, PolicyViolation, check_policy
+
+#: Stable diagnostic codes; append-only across schema versions.
+DIRECT_FLOW = "IFA001"
+PATH_FLOW = "IFA002"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding of a policy check.
+
+    ``code`` is stable across releases (``IFA001`` forbidden direct flow,
+    ``IFA002`` forbidden flow via a longer witness path), ``severity`` is
+    ``"error"`` for every policy violation today (the field exists so later
+    advisory codes can ride the same record), and ``path`` is the witness
+    flow path from ``source`` to ``target``.
+    """
+
+    code: str
+    severity: str
+    message: str
+    source: str
+    target: str
+    source_level: str
+    target_level: str
+    path: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_violation(cls, violation: PolicyViolation) -> "Diagnostic":
+        """The diagnostic form of one :class:`PolicyViolation`."""
+        code = PATH_FLOW if len(violation.path) > 2 else DIRECT_FLOW
+        return cls(
+            code=code,
+            severity="error",
+            message=violation.describe(),
+            source=violation.source,
+            target=violation.target,
+            source_level=str(violation.source_level),
+            target_level=str(violation.target_level),
+            path=tuple(violation.path),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-native form embedded in ``vhdl-ifa/v1`` documents."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "source": self.source,
+            "target": self.target,
+            "source_level": self.source_level,
+            "target_level": self.target_level,
+            "path": list(self.path),
+        }
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering (used by ``to_text``)."""
+        return f"[{self.code}] {self.message}"
 
 
 @dataclass
@@ -32,6 +97,11 @@ class CovertChannelReport:
         """True when no violation was found."""
         return not self.violations
 
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """The violations as structured diagnostics, in report order."""
+        return [Diagnostic.from_violation(v) for v in self.violations]
+
     def to_text(self) -> str:
         """Render the report as plain text."""
         lines = [
@@ -48,8 +118,8 @@ class CovertChannelReport:
             lines.append("No policy violations found.")
         else:
             lines.append(f"{len(self.violations)} policy violation(s):")
-            for violation in self.violations:
-                lines.append(f"  - {violation.describe()}")
+            for diagnostic in self.diagnostics:
+                lines.append(f"  - {diagnostic.describe()}")
         return "\n".join(lines)
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -57,17 +127,7 @@ class CovertChannelReport:
         return {
             "design": self.design_name,
             "clean": self.is_clean,
-            "violations": [
-                {
-                    "source": violation.source,
-                    "target": violation.target,
-                    "source_level": str(violation.source_level),
-                    "target_level": str(violation.target_level),
-                    "path": list(violation.path),
-                    "description": violation.describe(),
-                }
-                for violation in self.violations
-            ],
+            "violations": [diagnostic.to_dict() for diagnostic in self.diagnostics],
             "output_dependencies": {
                 output: list(inputs)
                 for output, inputs in sorted(self.output_dependencies.items())

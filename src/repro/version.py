@@ -1,0 +1,29 @@
+"""Package version resolution.
+
+The single source of truth is the installed distribution metadata (the
+``vhdl-ifa`` distribution declared in ``pyproject.toml``); running from a
+plain checkout without an install falls back to the constant below, which is
+kept in sync with ``pyproject.toml``.  This module is a leaf on purpose —
+``repro.cli --version`` and ``GET /version`` on the serve mode both resolve
+through :func:`version` without importing any analysis machinery.
+"""
+
+from __future__ import annotations
+
+#: Fallback for uninstalled checkouts; mirrors ``project.version``.
+__version__ = "1.0.0"
+
+#: The distribution name the package installs under.
+DISTRIBUTION = "vhdl-ifa"
+
+
+def version() -> str:
+    """The package version, from installed metadata when available."""
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - stdlib since 3.8
+        return __version__
+    try:
+        return metadata.version(DISTRIBUTION)
+    except metadata.PackageNotFoundError:
+        return __version__

@@ -1,0 +1,355 @@
+"""The v1 public API: one :class:`Workspace` behind every frontend.
+
+A :class:`Workspace` is the session object the CLI, the batch driver and the
+serve mode are all thin shells over.  It owns the three pieces of session
+state the toolchain has grown:
+
+* one :class:`~repro.dataflow.universe.FactUniverse` of interned resource
+  names (for callers that *pool* several analyses at the bitset level);
+* one artifact cache — in-memory, tiered over a ``cache_dir``, or none —
+  threaded through a single long-lived
+  :class:`~repro.pipeline.stages.Pipeline`;
+* a registry of *named* policies, loadable from declarative TOML/JSON
+  documents (:mod:`repro.security.policy_file`).
+
+The facade exposes four verbs::
+
+    ws = Workspace(cache_dir=".ifa-cache")
+    result  = ws.analyze(source)                      # AnalysisResult
+    checked = ws.check(source, policy="mls")          # CheckResult
+    report  = ws.batch(["a.vhd", "b.vhd"])            # BatchReport
+    ws.stats()                                        # session statistics
+
+plus the ``*_run`` variants returning the full
+:class:`~repro.pipeline.artifacts.PipelineResult` (per-stage timings, cache
+hits) the JSON document builders consume.  The legacy free functions
+(:func:`repro.analysis.api.analyze` and friends) remain supported thin
+wrappers with byte-identical output; new code should construct a
+``Workspace``.
+
+Universe discipline: by default each ``analyze``/``check`` call keeps the
+pipeline's per-run universe semantics (independent runs share no interned
+names, and cached universe-bound artifacts adopt their stored universe).
+Pass ``pool_universe=True`` to thread the workspace's own universe through a
+run instead — its matrices then compare and combine bitset-natively with
+other pooled runs, at the cost of bypassing the universe-bound cache tiers
+(a cached matrix from another universe would not be poolable).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.dataflow.universe import FactUniverse
+from repro.errors import PolicyError
+from repro.pipeline.artifacts import AnalysisOptions, AnalysisResult, PipelineResult
+from repro.pipeline.batch import BatchJob, BatchReport, expand_jobs, run_batch
+from repro.pipeline.cache import open_cache
+from repro.pipeline.render import check_document
+from repro.pipeline.stages import Pipeline
+from repro.security.policy import FlowPolicy
+from repro.security.policy_file import load_policy_file, policy_from_dict
+
+#: Anything :meth:`Workspace.policy` resolves: a policy object, a registered
+#: name, a parsed policy document, or a path to a policy file.
+PolicySpec = Union[FlowPolicy, str, Dict[str, Any], os.PathLike]
+
+_UNSET = object()
+
+
+@dataclass
+class CheckResult:
+    """The outcome of one :meth:`Workspace.check`.
+
+    Bundles the covert-channel report with the policy that was enforced and
+    the underlying pipeline run (timings, cache hits, artifacts).
+    """
+
+    run: PipelineResult
+    policy: FlowPolicy
+    report: Any
+
+    @property
+    def clean(self) -> bool:
+        """True when no policy violation was found."""
+        return self.report.is_clean
+
+    @property
+    def violations(self) -> List[Any]:
+        """The raw :class:`~repro.security.policy.PolicyViolation` records."""
+        return list(self.report.violations)
+
+    @property
+    def diagnostics(self) -> List[Any]:
+        """The violations as structured :class:`Diagnostic` records."""
+        return self.report.diagnostics
+
+    @property
+    def result(self) -> AnalysisResult:
+        """The full analysis result the check ran on."""
+        return self.run.result
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI convention: 0 clean, 3 when a violation was found."""
+        return 0 if self.clean else 3
+
+    def to_text(self) -> str:
+        """The human-readable report (what ``vhdl-ifa check`` prints)."""
+        return self.report.to_text()
+
+    def document(self, file: Optional[str] = None) -> Dict[str, Any]:
+        """The complete ``check`` JSON document (``vhdl-ifa/v1``)."""
+        return check_document(self.run, self.policy, file=file)
+
+
+class Workspace:
+    """The session facade: one universe, one cache, named policies.
+
+    ``cache_dir`` persists artifacts on disk (tiered under an in-memory
+    front); ``memory_cache=False`` with no ``cache_dir`` disables caching
+    for single-shot use; passing ``cache=`` explicitly (including ``None``)
+    overrides both.  ``policies`` pre-registers named policies — values may
+    be :class:`FlowPolicy` objects, parsed policy documents (dicts) or
+    policy-file paths.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: Optional[str] = None,
+        cache: Any = _UNSET,
+        memory_cache: bool = True,
+        universe: Optional[FactUniverse] = None,
+        policies: Optional[Dict[str, PolicySpec]] = None,
+    ):
+        # Caching is *disabled* only when the caller explicitly passes
+        # cache=None (the CLI's --no-cache).  A workspace that merely has no
+        # shared cache (memory_cache=False, no cache_dir) still lets batch
+        # pool workers keep their own per-worker in-memory tier.
+        self.no_cache = cache is None
+        if cache is _UNSET:
+            cache = open_cache(cache_dir, memory=memory_cache)
+            self.no_cache = False
+        self.cache = cache
+        self.cache_dir = cache_dir
+        self.universe = universe if universe is not None else FactUniverse()
+        self.pipeline = Pipeline(cache)
+        self._policies: Dict[str, FlowPolicy] = {}
+        for name, spec in (policies or {}).items():
+            self.register_policy(name, spec)
+
+    # ------------------------------------------------------------- policies
+
+    @property
+    def policies(self) -> Dict[str, FlowPolicy]:
+        """The registered policies, name → policy (a copy)."""
+        return dict(self._policies)
+
+    def register_policy(self, name: str, policy: PolicySpec) -> FlowPolicy:
+        """Register ``policy`` (resolved via :meth:`policy`) under ``name``."""
+        resolved = self.policy(policy)
+        self._policies[name] = resolved
+        return resolved
+
+    def load_policy(
+        self, path: "str | os.PathLike[str]", name: Optional[str] = None
+    ) -> FlowPolicy:
+        """Load a TOML/JSON policy file and register it.
+
+        The registry name is ``name``, else the document's own ``name`` key,
+        else the file stem.
+        """
+        policy = load_policy_file(path)
+        register_as = name or policy.name or Path(path).stem
+        self._policies[register_as] = policy
+        return policy
+
+    def policy(self, spec: PolicySpec) -> FlowPolicy:
+        """Resolve a policy: an object as-is, a ``dict`` as a declarative
+        document, a path as a file, and a ``str`` as a registered name
+        first, else as a path to an existing policy file."""
+        if isinstance(spec, FlowPolicy):
+            return spec
+        if isinstance(spec, dict):
+            return policy_from_dict(spec)
+        if isinstance(spec, str):
+            registered = self._policies.get(spec)
+            if registered is not None:
+                return registered
+            if os.path.exists(spec):
+                return load_policy_file(spec)
+            known = ", ".join(sorted(self._policies)) or "(none)"
+            raise PolicyError(
+                f"unknown policy {spec!r}: not a registered policy "
+                f"(registered: {known}) and no such policy file"
+            )
+        if isinstance(spec, os.PathLike):
+            return load_policy_file(spec)
+        raise PolicyError(
+            "expected a FlowPolicy, a registered policy name, a policy "
+            f"document or a policy-file path, got {type(spec).__name__}"
+        )
+
+    # -------------------------------------------------------------- analyse
+
+    @staticmethod
+    def _options(
+        entity: Optional[str],
+        improved: bool,
+        loop_processes: bool,
+        use_under_approximation: bool,
+    ) -> AnalysisOptions:
+        return AnalysisOptions(
+            entity=entity,
+            improved=improved,
+            loop_processes=loop_processes,
+            use_under_approximation=use_under_approximation,
+        )
+
+    def analyze(self, source: str, **opts: Any) -> AnalysisResult:
+        """Run the full Information Flow analysis on VHDL1 source text.
+
+        Accepts the keyword options of :meth:`analyze_run` and returns the
+        :class:`AnalysisResult` artifact bundle.
+        """
+        return self.analyze_run(source, **opts).result
+
+    def analyze_run(
+        self,
+        source: str,
+        *,
+        entity: Optional[str] = None,
+        improved: bool = True,
+        loop_processes: bool = True,
+        use_under_approximation: bool = True,
+        until: Optional[str] = None,
+        pool_universe: bool = False,
+    ) -> PipelineResult:
+        """As :meth:`analyze`, returning the staged :class:`PipelineResult`."""
+        return self.pipeline.run(
+            source,
+            self._options(entity, improved, loop_processes, use_under_approximation),
+            universe=self.universe if pool_universe else None,
+            until=until,
+        )
+
+    def kemmerer_run(
+        self,
+        source: str,
+        *,
+        entity: Optional[str] = None,
+        loop_processes: bool = True,
+        pool_universe: bool = False,
+    ) -> PipelineResult:
+        """Kemmerer's baseline over the workspace's pipeline and cache."""
+        return self.pipeline.run_kemmerer(
+            source,
+            AnalysisOptions(entity=entity, loop_processes=loop_processes),
+            universe=self.universe if pool_universe else None,
+        )
+
+    # ---------------------------------------------------------------- check
+
+    def check(
+        self,
+        source: str,
+        policy: PolicySpec,
+        *,
+        outputs: Optional[Iterable[str]] = None,
+        transitive: Optional[bool] = None,
+        restrict_to_ports: bool = False,
+        entity: Optional[str] = None,
+        improved: bool = True,
+        loop_processes: bool = True,
+        use_under_approximation: bool = True,
+        pool_universe: bool = False,
+    ) -> CheckResult:
+        """Analyse ``source`` and check it against ``policy``.
+
+        ``transitive=None`` defers to the policy's own preferred mode (the
+        ``mode`` key of a declarative policy); ``outputs`` restricts the
+        reported sinks; ``restrict_to_ports`` keeps only port-to-port flows.
+        """
+        resolved = self.policy(policy)
+        if transitive is None:
+            transitive = bool(getattr(resolved, "transitive", False))
+        run = self.pipeline.run(
+            source,
+            self._options(entity, improved, loop_processes, use_under_approximation),
+            universe=self.universe if pool_universe else None,
+            policy=resolved,
+            report_options={
+                "transitive": transitive,
+                "restrict_to_ports": restrict_to_ports,
+                "outputs": list(outputs) if outputs else None,
+            },
+        )
+        return CheckResult(run=run, policy=resolved, report=run.report)
+
+    # ---------------------------------------------------------------- batch
+
+    def batch(
+        self,
+        jobs: Sequence[Union[str, BatchJob]],
+        *,
+        all_entities: bool = False,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        policy: Optional[PolicySpec] = None,
+        collapse: bool = False,
+        self_loops: bool = False,
+        dot: bool = False,
+        improved: bool = True,
+        loop_processes: bool = True,
+        use_under_approximation: bool = True,
+    ) -> BatchReport:
+        """Analyse many files (or :class:`BatchJob` items) in one run.
+
+        Paths are expanded to jobs (one per entity with ``all_entities``);
+        parallel runs fan out over a process pool whose workers layer their
+        per-worker memory tier over this workspace's ``cache_dir`` disk
+        store, so the pool shares the workspace's cache configuration.
+        ``policy`` turns the batch into a policy check over every job.
+        """
+        expanded: List[BatchJob] = []
+        for job in jobs:
+            if isinstance(job, BatchJob):
+                expanded.append(job)
+            else:
+                expanded.extend(
+                    expand_jobs([job], all_entities=all_entities, cache=self.cache)
+                )
+        resolved_policy = None if policy is None else self.policy(policy)
+        return run_batch(
+            expanded,
+            AnalysisOptions(
+                improved=improved,
+                loop_processes=loop_processes,
+                use_under_approximation=use_under_approximation,
+            ),
+            collapse=collapse,
+            self_loops=self_loops,
+            dot=dot,
+            parallel=parallel,
+            max_workers=max_workers,
+            cache=self.cache,
+            cache_dir=self.cache_dir,
+            no_cache=self.no_cache,
+            policy=resolved_policy,
+        )
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, Any]:
+        """Session statistics: universe size, policies, cache counters."""
+        document: Dict[str, Any] = {
+            "universe": len(self.universe),
+            "policies": sorted(self._policies),
+        }
+        if self.cache is not None:
+            document["cache"] = self.cache.stats()
+        return document

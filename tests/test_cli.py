@@ -91,11 +91,11 @@ class TestCheckCommand:
     def test_internal_flow_is_flagged_without_ports_only(self, design_file, capsys):
         # the secret key does flow into the (public) temporary t, so the
         # unrestricted check reports it
-        assert main(["check", design_file, "--secret", "key"]) == 1
+        assert main(["check", design_file, "--secret", "key"]) == 3
         assert "key" in capsys.readouterr().out
 
     def test_leak_returns_nonzero(self, producer_file, capsys):
-        assert main(["check", producer_file, "--secret", "left"]) == 1
+        assert main(["check", producer_file, "--secret", "left"]) == 3
         assert "violation" in capsys.readouterr().out
 
     def test_output_flag_restricts_reported_sinks(self, design_file, capsys):
@@ -107,7 +107,7 @@ class TestCheckCommand:
         assert "to t" not in out
 
     def test_unknown_output_is_an_error(self, design_file, capsys):
-        assert main(["check", design_file, "--secret", "key", "--output", "nope"]) == 2
+        assert main(["check", design_file, "--secret", "key", "--output", "nope"]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "nope" in err
@@ -115,17 +115,17 @@ class TestCheckCommand:
     def test_source_only_resource_is_rejected_as_output(self, design_file, capsys):
         # `plain` is an input port: nothing flows *into* it, so accepting it
         # as a sink would silently filter away every violation
-        assert main(["check", design_file, "--secret", "key", "--output", "plain"]) == 2
+        assert main(["check", design_file, "--secret", "key", "--output", "plain"]) == 1
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "plain" in err
 
     def test_basic_flag_disables_environment_nodes(self, design_file, capsys):
         # the improved analysis reports the key○ incoming node as well ...
-        assert main(["check", design_file, "--secret", "key"]) == 1
+        assert main(["check", design_file, "--secret", "key"]) == 3
         assert "key○" in capsys.readouterr().out
         # ... the basic (Table 8 only) analysis has no environment nodes
-        assert main(["check", design_file, "--secret", "key", "--basic"]) == 1
+        assert main(["check", design_file, "--secret", "key", "--basic"]) == 3
         assert "key○" not in capsys.readouterr().out
 
     def test_straight_line_flag_changes_the_verdict(self, tmp_path, capsys):
@@ -134,9 +134,9 @@ class TestCheckCommand:
         # straight-line code (the paper's Figure 3(a) reading) it does not.
         path = tmp_path / "a.vhd"
         path.write_text(workloads.paper_program_a(), encoding="utf-8")
-        assert main(["check", str(path), "--secret", "a"]) == 1
+        assert main(["check", str(path), "--secret", "a"]) == 3
         assert "to c" in capsys.readouterr().out
-        assert main(["check", str(path), "--secret", "a", "--straight-line"]) == 1
+        assert main(["check", str(path), "--secret", "a", "--straight-line"]) == 3
         assert "to c" not in capsys.readouterr().out
 
 
@@ -159,7 +159,7 @@ class TestSimulateCommand:
         assert 'result = "0110"' in out
 
     def test_malformed_set_reports_error(self, producer_file, capsys):
-        assert main(["simulate", producer_file, "--set", "oops"]) == 2
+        assert main(["simulate", producer_file, "--set", "oops"]) == 1
         assert "error" in capsys.readouterr().err
 
     def test_malformed_set_fails_before_any_simulation(
@@ -173,7 +173,7 @@ class TestSimulateCommand:
         monkeypatch.setattr(Simulator, "run", explode)
         assert (
             main(["simulate", producer_file, "--set", "left=1100", "--set", "oops"])
-            == 2
+            == 1
         )
         assert "error" in capsys.readouterr().err
 
@@ -184,11 +184,11 @@ class TestSimulateCommand:
             raise AssertionError("simulator ran before --set validation")
 
         monkeypatch.setattr(Simulator, "run", explode)
-        assert main(["simulate", producer_file, "--set", "nosuch=1"]) == 2
+        assert main(["simulate", producer_file, "--set", "nosuch=1"]) == 1
         assert "unknown signal" in capsys.readouterr().err
 
     def test_non_input_port_is_rejected(self, producer_file, capsys):
-        assert main(["simulate", producer_file, "--set", "result=0000"]) == 2
+        assert main(["simulate", producer_file, "--set", "result=0000"]) == 1
         assert "not an input port" in capsys.readouterr().err
 
 
@@ -281,21 +281,25 @@ class TestJsonOutput:
         assert document["policy"]["secrets"] == ["key"]
 
     def test_check_json_violation_keeps_exit_code(self, producer_file, capsys):
-        assert main(["check", producer_file, "--secret", "left", "--json"]) == 1
+        assert main(["check", producer_file, "--secret", "left", "--json"]) == 3
         document = json.loads(capsys.readouterr().out)
         assert document["clean"] is False
         assert any(
             violation["source"].startswith("left")
             for violation in document["violations"]
         )
-        assert all("description" in violation for violation in document["violations"])
+        assert all(
+            violation["code"] == "IFA001" and violation["severity"] == "error"
+            and "message" in violation
+            for violation in document["violations"]
+        )
 
 
 class TestErrorHandling:
     def test_parse_errors_are_reported(self, tmp_path, capsys):
         path = tmp_path / "broken.vhd"
         path.write_text("entity broken is", encoding="utf-8")
-        assert main(["analyze", str(path)]) == 2
+        assert main(["analyze", str(path)]) == 1
         assert "error" in capsys.readouterr().err
 
     @pytest.mark.parametrize("command", ["analyze", "kemmerer", "check", "simulate"])
@@ -416,3 +420,144 @@ class TestParallelBatchNoCache:
                      "--json", "--no-cache"]) == 0
         document = json.loads(capsys.readouterr().out)
         assert [job["cached_stages"] for job in document["jobs"]] == [[], []]
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        from repro.version import version
+
+        assert out.strip() == f"vhdl-ifa {version()}"
+
+
+TWO_LEVEL_TOML = """\
+default = "public"
+
+[levels]
+public = 0
+secret = 1
+
+[resources]
+key = "secret"
+
+[[allow]]
+from = "public"
+to = "secret"
+"""
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "two_level.toml"
+    path.write_text(TWO_LEVEL_TOML, encoding="utf-8")
+    return str(path)
+
+
+class TestPolicyFileFlag:
+    def test_policy_file_matches_secret_flag(self, design_file, policy_file, capsys):
+        # the acceptance property: a policy expressed only as TOML drives
+        # check --policy to the same violations as the in-code policy
+        assert main(["check", design_file, "--policy", policy_file, "--json"]) == 3
+        declared = json.loads(capsys.readouterr().out)
+        assert main(["check", design_file, "--secret", "key", "--json"]) == 3
+        in_code = json.loads(capsys.readouterr().out)
+        assert declared["violations"] == in_code["violations"]
+        assert declared["clean"] is False
+        # the policy member echoes the declarative document
+        assert declared["policy"]["levels"] == {"public": 0, "secret": 1}
+        assert in_code["policy"] == {"secrets": ["key"]}
+
+    def test_policy_and_secret_are_mutually_exclusive(self, design_file, policy_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", design_file, "--policy", policy_file, "--secret", "key"])
+        assert excinfo.value.code == 2
+
+    def test_invalid_policy_file_exits_one_with_context(self, design_file, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('[levels]\npublic = "zero"\n', encoding="utf-8")
+        assert main(["check", design_file, "--policy", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "bad.toml" in err
+
+    def test_missing_policy_file_exits_two(self, design_file, tmp_path, capsys):
+        missing = str(tmp_path / "nope.toml")
+        assert main(["check", design_file, "--policy", missing]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_batch_policy_reports_violations_and_exits_three(
+        self, design_file, policy_file, capsys
+    ):
+        assert main(["batch", design_file, "--sequential", "--policy",
+                     policy_file, "--json"]) == 3
+        document = json.loads(capsys.readouterr().out)
+        assert document["policy"]["levels"] == {"public": 0, "secret": 1}
+        [job] = document["jobs"]
+        assert job["ok"] is True and job["clean"] is False
+        assert job["violations"][0]["code"] == "IFA001"
+
+
+class TestExitCodeContract:
+    def test_batch_analysis_failure_exits_one(self, design_file, tmp_path, capsys):
+        broken = tmp_path / "broken.vhd"
+        broken.write_text("entity broken is", encoding="utf-8")
+        assert main(["batch", design_file, str(broken), "--sequential"]) == 1
+        assert "1 failed" in capsys.readouterr().err
+
+    def test_batch_input_failure_beats_analysis_failure(
+        self, design_file, tmp_path, capsys
+    ):
+        broken = tmp_path / "broken.vhd"
+        broken.write_text("entity broken is", encoding="utf-8")
+        missing = str(tmp_path / "missing.vhd")
+        assert main(["batch", design_file, str(broken), missing,
+                     "--sequential", "--json"]) == 2
+        document = json.loads(capsys.readouterr().out)
+        kinds = [job.get("error_kind") for job in document["jobs"]]
+        assert kinds == [None, "analysis", "input"]
+
+
+class TestSchemaStamp:
+    def test_cli_json_documents_carry_the_schema(self, design_file, tmp_path, capsys):
+        assert main(["analyze", design_file, "--json"]) == 0
+        analyze_doc = json.loads(capsys.readouterr().out)
+        assert main(["check", design_file, "--secret", "key", "--json"]) == 3
+        check_doc = json.loads(capsys.readouterr().out)
+        assert main(["batch", design_file, "--sequential", "--json"]) == 0
+        batch_doc = json.loads(capsys.readouterr().out)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        cache_doc = json.loads(capsys.readouterr().out)
+        for document in (analyze_doc, check_doc, batch_doc, cache_doc):
+            assert list(document)[0] == "schema"
+            assert document["schema"] == "vhdl-ifa/v1"
+
+
+class TestCheckModeFlags:
+    def test_direct_overrides_a_transitive_policy_file(
+        self, design_file, tmp_path, capsys
+    ):
+        transitive = tmp_path / "t.toml"
+        transitive.write_text(
+            'mode = "transitive"\n' + TWO_LEVEL_TOML, encoding="utf-8"
+        )
+        assert main(["check", design_file, "--policy", str(transitive), "--json"]) == 3
+        via_mode = json.loads(capsys.readouterr().out)
+        assert main(["check", design_file, "--policy", str(transitive),
+                     "--direct", "--json"]) == 3
+        via_direct = json.loads(capsys.readouterr().out)
+        # the transitive check reports strictly more violating pairs
+        assert len(via_mode["violations"]) > len(via_direct["violations"])
+
+    def test_transitive_and_direct_are_mutually_exclusive(self, design_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", design_file, "--secret", "key",
+                  "--transitive", "--direct"])
+        assert excinfo.value.code == 2
+
+    def test_batch_policy_rejects_graph_flags(self, design_file, policy_file, capsys):
+        assert main(["batch", design_file, "--sequential", "--policy",
+                     policy_file, "--dot"]) == 2
+        assert "--dot" in capsys.readouterr().err

@@ -101,3 +101,69 @@ class TestResourceMatrix:
         assert lines[0].startswith("label")
         labels = [int(line.split()[0]) for line in lines[1:]]
         assert labels == sorted(labels)
+
+
+class TestCrossUniverseReencoding:
+    """eq/union across universes, including strict-superset universes.
+
+    Matrices built in different sessions have incompatible bit positions, so
+    comparison and union must re-encode by name — also when one universe
+    holds strictly more interned names than the other (e.g. an artifact
+    loaded from a cache snapshot taken later in a session's life).
+    """
+
+    def _entries(self, matrix):
+        matrix.add("a", 1, Access.R0)
+        matrix.add("b", 1, Access.M0)
+        matrix.add("s", 2, Access.M1)
+        return matrix
+
+    def test_equality_when_one_universe_is_a_strict_superset(self):
+        from repro.dataflow.universe import FactUniverse
+
+        small = FactUniverse()
+        big = FactUniverse()
+        # interleave extra names so shared names land on different bits
+        for name in ("x", "a", "y", "b", "z", "s", "w"):
+            big.intern(name)
+        left = self._entries(ResourceMatrix(universe=small))
+        right = self._entries(ResourceMatrix(universe=big))
+        assert set(big) > set(small)
+        assert left == right and right == left
+        right.add("extra", 1, Access.R0)
+        assert left != right
+
+    def test_union_reencodes_into_the_superset_universe(self):
+        from repro.dataflow.universe import FactUniverse
+
+        small = FactUniverse()
+        big = FactUniverse()
+        big.intern_all(["pad0", "a", "pad1", "s"])
+        left = self._entries(ResourceMatrix(universe=small))
+        right = ResourceMatrix(universe=big)
+        right.add("s", 2, Access.M1)  # overlaps left on a different bit
+        right.add("q", 9, Access.R1)
+
+        combined = right.union(left)
+        assert combined.universe is big
+        assert Entry("a", 1, Access.R0) in combined
+        assert Entry("q", 9, Access.R1) in combined
+        assert len(combined) == 4  # the shared ("s", 2, M1) is not doubled
+
+        # and the mirror-direction union gives the same entry set
+        mirrored = left.union(right)
+        assert mirrored.universe is small
+        assert mirrored == combined
+        assert mirrored.entries() == combined.entries()
+
+    def test_union_interns_foreign_names_into_the_target_universe(self):
+        from repro.dataflow.universe import FactUniverse
+
+        small = FactUniverse()
+        left = ResourceMatrix(universe=small)
+        left.add("a", 1, Access.R0)
+        foreign = ResourceMatrix(universe=FactUniverse(["only_here"]))
+        foreign.add("only_here", 4, Access.M0)
+        left.update(foreign)
+        assert "only_here" in small
+        assert Entry("only_here", 4, Access.M0) in left

@@ -219,3 +219,141 @@ class TestRobustnessFixes:
             )
             response = sock.recv(65536).decode("utf-8", "replace")
         assert response.startswith("HTTP/1.1 400")
+
+
+class TestVersionEndpoint:
+    def test_version_document(self, server):
+        status, body = _request(server.port, "GET", "/version")
+        assert status == 200
+        document = json.loads(body)
+        assert document["schema"] == "vhdl-ifa/v1"
+        assert document["command"] == "version"
+        from repro.version import version
+
+        assert document["version"] == version()
+
+    def test_version_rejects_post(self, server):
+        status, _ = _request(server.port, "POST", "/version", {})
+        assert status == 405
+
+
+POLICY_DOCUMENT = {
+    "name": "mls",
+    "levels": {"public": 0, "secret": 1},
+    "resources": {"key": "secret"},
+    "allow": [{"from": "public", "to": "secret"}],
+}
+
+
+class TestPolicyEndpoint:
+    def test_validate_and_register(self, server, workload_files):
+        status, body = _request(server.port, "POST", "/policy", POLICY_DOCUMENT)
+        assert status == 200
+        document = json.loads(body)
+        assert document["schema"] == "vhdl-ifa/v1"
+        assert document["valid"] is True
+        assert document["registered"] == "mls"
+        assert document["policy"]["levels"] == {"public": 0, "secret": 1}
+        # the registered name now drives /check
+        status, body = _request(
+            server.port, "POST", "/check",
+            {"source": workloads.challenge_f_program(), "policy": "mls"},
+        )
+        assert status == 200
+        checked = json.loads(body)
+        assert checked["clean"] is False
+        assert checked["violations"][0]["code"] == "IFA001"
+        # ... and shows up in /stats
+        status, stats = _request(server.port, "GET", "/stats")
+        assert "mls" in json.loads(stats)["policies"]
+
+    def test_invalid_document_is_a_400(self, server):
+        status, body = _request(
+            server.port, "POST", "/policy", {"levels": {"public": "zero"}}
+        )
+        assert status == 400
+        document = json.loads(body)
+        assert document["schema"] == "vhdl-ifa/v1"
+        assert "levels" in document["error"]
+
+    def test_inline_policy_on_check(self, server, workload_files):
+        inline = {key: value for key, value in POLICY_DOCUMENT.items() if key != "name"}
+        status, body = _request(
+            server.port, "POST", "/check",
+            {"source": workloads.challenge_f_program(), "policy": inline},
+        )
+        assert status == 200
+        assert json.loads(body)["clean"] is False
+
+    def test_policy_and_secret_are_mutually_exclusive(self, server):
+        status, body = _request(
+            server.port, "POST", "/check",
+            {"source": "x", "policy": "mls", "secret": ["k"]},
+        )
+        assert status == 400
+
+    def test_check_with_policy_matches_cli_policy_file(
+        self, server, workload_files, tmp_path, capsys
+    ):
+        # the acceptance property: a policy expressed only as a file drives
+        # the CLI to the same violations the server reports for the same
+        # declarative document
+        path = tmp_path / "design.vhd"
+        path.write_text(workloads.challenge_f_program(), encoding="utf-8")
+        inline = {key: value for key, value in POLICY_DOCUMENT.items() if key != "name"}
+        status, served = _request(
+            server.port, "POST", "/check", {"file": str(path), "policy": inline}
+        )
+        assert status == 200
+        policy_file = tmp_path / "mls.json"
+        policy_file.write_text(json.dumps(inline), encoding="utf-8")
+        assert main(["check", str(path), "--policy", str(policy_file), "--json"]) == 3
+        printed = capsys.readouterr().out
+        assert _normalised(served) == _normalised(printed)
+
+
+class TestSchemaStamp:
+    def test_every_response_carries_the_schema(self, server, workload_files):
+        responses = [
+            _request(server.port, "POST", "/analyze", {"file": workload_files[0]}),
+            _request(
+                server.port, "POST", "/check",
+                {"file": workload_files[0], "secret": ["clk"]},
+            ),
+            _request(server.port, "GET", "/stats"),
+            _request(server.port, "GET", "/version"),
+            _request(server.port, "GET", "/nonsense"),
+            _request(server.port, "POST", "/analyze", {"file": "/missing.vhd"}),
+        ]
+        for _, body in responses:
+            document = json.loads(body)
+            assert list(document)[0] == "schema"
+            assert document["schema"] == "vhdl-ifa/v1"
+
+
+class TestPolicyOverwriteProtection:
+    def test_replacing_a_registered_policy_is_a_409(self, workload_files):
+        from repro.pipeline import AnalysisServer, ServerThread
+
+        with ServerThread(AnalysisServer(port=0)) as guarded:
+            strict = dict(POLICY_DOCUMENT, name="strict")
+            status, _ = _request(guarded.port, "POST", "/policy", strict)
+            assert status == 200
+            # identical re-post is idempotent ...
+            status, _ = _request(guarded.port, "POST", "/policy", strict)
+            assert status == 200
+            # ... but a different definition under the same name is refused
+            permissive = dict(strict)
+            permissive["allow"] = [
+                {"from": "public", "to": "secret"},
+                {"from": "secret", "to": "public"},
+            ]
+            status, body = _request(guarded.port, "POST", "/policy", permissive)
+            assert status == 409
+            assert "already registered" in json.loads(body)["error"]
+            # the original policy still drives /check verdicts
+            status, body = _request(
+                guarded.port, "POST", "/check",
+                {"source": workloads.challenge_f_program(), "policy": "strict"},
+            )
+            assert status == 200 and json.loads(body)["clean"] is False
