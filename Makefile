@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench check docs examples schema
+.PHONY: test bench check docs examples schema load-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -14,6 +14,13 @@ bench:
 check:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/run_benchmarks.py --compare BENCH_scaling.json
+	$(PYTHON) scripts/load_smoke.py
+
+# A few seconds of concurrent traffic against the pooled serve mode:
+# distinct-entity clients, a single-flight dedup wave, a structured 400,
+# and a healthz/metrics scrape with asserted counters.
+load-smoke:
+	$(PYTHON) scripts/load_smoke.py
 
 # Docs gate: internal links resolve, docs/cli.md matches cli.py, and the
 # policy-file keys documented in docs/api.md match security/policy_file.py.

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency gate (no dependencies beyond the stdlib).
 
-Checks three things, and exits non-zero listing every failure:
+Checks four things, and exits non-zero listing every failure:
 
 1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
    every relative link target (minus any ``#anchor``) names an existing
@@ -13,6 +13,8 @@ Checks three things, and exits non-zero listing every failure:
 3. ``docs/api.md`` and ``src/repro/security/policy_file.py`` agree on the
    policy-file key set: the table between the ``policy-file-keys`` markers
    in the docs must list exactly the ``POLICY_KEYS`` of the loader.
+4. ``docs/serve.md`` documents every flag the ``serve`` subparser
+   registers in ``cli.py`` (the ops guide must not fall behind the CLI).
 
 Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
 CI runs it as the ``docs`` job.
@@ -118,6 +120,35 @@ def check_policy_keys() -> list[str]:
     return failures
 
 
+#: serve_p.add_argument("--workers", ...) — flags registered on the serve
+#: subparser (the block between its add_parser and set_defaults calls).
+_SERVE_FLAG = re.compile(r"add_argument\(\s*[\"'](--[a-z-]+)[\"']")
+
+
+def check_serve_flags() -> list[str]:
+    """``docs/serve.md`` must document every ``serve`` subparser flag."""
+    cli_source = (REPO_ROOT / "src" / "repro" / "cli.py").read_text(
+        encoding="utf-8"
+    )
+    match = re.search(
+        r"serve_p = sub\.add_parser(.*?)serve_p\.set_defaults", cli_source, re.DOTALL
+    )
+    if match is None:
+        return ["cli.py: found no serve subparser block"]
+    registered = set(_SERVE_FLAG.findall(match.group(1)))
+    guide = (REPO_ROOT / "docs" / "serve.md").read_text(encoding="utf-8")
+    failures = []
+    for flag in sorted(registered):
+        if f"`{flag}" not in guide:
+            failures.append(
+                f"cli.py registers serve flag {flag!r} but docs/serve.md "
+                "does not document it"
+            )
+    if not registered:
+        failures.append("cli.py: the serve subparser registers no flags")
+    return failures
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md"]
     docs_dir = REPO_ROOT / "docs"
@@ -125,6 +156,7 @@ def main() -> int:
     failures = check_links(documents)
     failures.extend(check_cli_reference())
     failures.extend(check_policy_keys())
+    failures.extend(check_serve_flags())
     for failure in failures:
         print(f"docs check: {failure}", file=sys.stderr)
     if failures:
@@ -133,7 +165,7 @@ def main() -> int:
     print(
         f"docs check: {len(documents)} documents OK "
         "(links resolve, CLI reference matches cli.py, policy keys match "
-        "policy_file.py)"
+        "policy_file.py, serve flags documented in serve.md)"
     )
     return 0
 

@@ -285,11 +285,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     workspace = _workspace(args, memory_default=True)
     for policy_file in args.policy or []:
         workspace.load_policy(policy_file)
+    # --workers 0 selects the inline (single-process) mode; the default is
+    # a pool sized like the batch driver's.
+    workers = default_workers() if args.workers is None else args.workers
     try:
         serve(
             host=args.host,
             port=args.port,
             workspace=workspace,
+            workers=workers if workers > 0 else None,
+            timeout=args.timeout if args.timeout > 0 else None,
+            queue_depth=args.queue_depth,
             announce=lambda url: print(
                 f"vhdl-ifa serve: listening on {url}", file=sys.stderr
             ),
@@ -488,6 +494,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="FILE",
         help="pre-register a named TOML/JSON policy for POST /check (repeatable)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "size of the analysis worker-process pool (default: the CPU "
+            "count the batch driver uses; 0 runs analyses inline on the "
+            "event loop)"
+        ),
+    )
+    serve_p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "per-request wall-clock budget; a request over budget answers "
+            "504 and its worker is recycled (default: 60)"
+        ),
+    )
+    serve_p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "max admitted (queued + running) requests before load-shedding "
+            "with 429 + Retry-After (default: 64)"
+        ),
     )
     _add_cache_flags(serve_p)
     serve_p.set_defaults(handler=_cmd_serve)

@@ -6,6 +6,9 @@ individually timed stages (:mod:`repro.pipeline.stages`), backed by a
 content-addressed artifact cache (:mod:`repro.pipeline.cache`), rendered for
 humans and machines (:mod:`repro.pipeline.render`) and driven over many
 designs at once, sequentially or in parallel (:mod:`repro.pipeline.batch`).
+The serve mode (:mod:`repro.pipeline.serve`) runs analyses on a supervised
+worker pool (:mod:`repro.pipeline.pool`) whose fault behaviour is
+deterministically testable via :mod:`repro.pipeline.faults`.
 
 The legacy entry points (:func:`repro.analysis.api.analyze` and friends) are
 thin wrappers over :class:`Pipeline` with unchanged behaviour.
@@ -33,6 +36,8 @@ from repro.pipeline.cache import (
     open_cache,
     source_digest,
 )
+from repro.pipeline.faults import FaultInjector, FaultPlan
+from repro.pipeline.pool import PoolResult, WorkerPool
 from repro.pipeline.render import (
     SCHEMA_VERSION,
     analysis_json,
@@ -69,12 +74,16 @@ __all__ = [
     "BatchJob",
     "BatchReport",
     "DiskArtifactCache",
+    "FaultInjector",
+    "FaultPlan",
     "KEMMERER_STAGES",
     "Pipeline",
     "PipelineContext",
     "PipelineResult",
+    "PoolResult",
     "STAGE_NAMES",
     "ServerThread",
+    "WorkerPool",
     "Stage",
     "StageTiming",
     "TieredArtifactCache",

@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.errors import ReproError
 from repro.pipeline.artifacts import AnalysisOptions
 from repro.pipeline.cache import open_cache, source_digest
+from repro.pipeline.faults import install_process_injector, process_injector
 from repro.pipeline.render import (
     analysis_json,
     policy_summary,
@@ -59,6 +60,9 @@ def _error_kind(error: BaseException) -> str:
     elaboration, analysis and policy errors — any :class:`ReproError`);
     ``"input"`` is a file the job could not even read (missing, unreadable,
     not UTF-8).  The CLI maps these to exit codes 1 and 2 respectively.
+    A third kind, ``"worker"``, is assigned by :func:`run_batch` itself when
+    a job repeatedly took its worker process down (see the broken-pool
+    recovery there); it exits like an analysis failure.
     """
     return "analysis" if isinstance(error, ReproError) else "input"
 
@@ -285,11 +289,17 @@ _WORKER_PIPELINE: Optional[Pipeline] = None
 
 def _init_worker(cache_dir: Optional[str] = None, no_cache: bool = False) -> None:
     global _WORKER_PIPELINE
+    # Arm this worker's fault injector from the environment switch (a no-op
+    # plan outside the fault-injection tests).
+    install_process_injector()
     _WORKER_PIPELINE = Pipeline(None if no_cache else open_cache(cache_dir))
 
 
 def _run_job_in_worker(payload) -> BatchItem:
     job, options, collapse, self_loops, dot, policy = payload
+    # The job path is the fault trigger text, so a test can crash or delay
+    # exactly one job of a batch.
+    process_injector().before_analysis(job.path)
     return run_job(
         job,
         options,
@@ -304,6 +314,36 @@ def _run_job_in_worker(payload) -> BatchItem:
 def default_workers() -> int:
     """The default pool size: one worker per available CPU."""
     return os.cpu_count() or 1
+
+
+def _pool_results(
+    payloads: Sequence[Any],
+    workers: int,
+    cache_dir: Optional[str],
+    no_cache: bool,
+) -> List[Optional[BatchItem]]:
+    """Run payloads on one process pool; a broken-pool casualty is ``None``.
+
+    ``None`` marks a job whose result was lost to pool breakage — either the
+    job itself killed its worker, or it was collateral damage of one that
+    did.  The caller decides the retry policy; this helper never raises on
+    worker death.
+    """
+    results: List[Optional[BatchItem]] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(cache_dir, no_cache),
+    ) as executor:
+        futures = [
+            executor.submit(_run_job_in_worker, payload) for payload in payloads
+        ]
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BrokenExecutor:
+                results.append(None)
+    return results
 
 
 def run_batch(
@@ -345,16 +385,29 @@ def run_batch(
         payloads = [
             (job, options, collapse, self_loops, dot, policy) for job in job_list
         ]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(cache_dir, no_cache),
-        ) as executor:
-            futures = [
-                executor.submit(_run_job_in_worker, payload)
-                for payload in payloads
-            ]
-            report.items = [future.result() for future in futures]
+        results = _pool_results(payloads, workers, cache_dir, no_cache)
+        # A job that takes its worker process down (crash, OOM kill) breaks
+        # the whole executor: every unfinished future raises.  Retry each
+        # casualty once on its own fresh single-worker pool — one poisonous
+        # job then costs exactly its own slot, not the batch — and report a
+        # job that breaks its pool twice as a "worker" error item.
+        casualties = [index for index, item in enumerate(results) if item is None]
+        for index in casualties:
+            retried = _pool_results([payloads[index]], 1, cache_dir, no_cache)[0]
+            if retried is None:
+                job = payloads[index][0]
+                retried = BatchItem(
+                    job=job,
+                    ok=False,
+                    error=(
+                        "analysis worker process died running this job "
+                        "(broken process pool); the retry on a fresh pool "
+                        "died too"
+                    ),
+                    error_kind="worker",
+                )
+            results[index] = retried
+        report.items = results
     else:
         report.workers = 1
         pipeline = Pipeline(cache)

@@ -500,7 +500,14 @@ class DiskArtifactCache:
             index = json.loads(self._index_path.read_text(encoding="utf-8"))
             if not isinstance(index, dict):
                 raise ValueError("index is not an object")
-        except (OSError, ValueError):
+            entries = index.get("entries", {})
+            # A torn or concurrently-rewritten index can be valid JSON of
+            # the wrong shape; treat it exactly like unparsable bytes.
+            if not isinstance(entries, dict) or any(
+                not isinstance(entry, dict) for entry in entries.values()
+            ):
+                raise ValueError("index entries are malformed")
+        except (OSError, ValueError, TypeError):
             # Missing or corrupt index: rebuild it from the entry files — the
             # entries themselves are self-describing and stay servable.
             index = self._rebuild_index()

@@ -346,7 +346,7 @@ def schema_v1() -> Dict[str, Any]:
                         "ok": {"type": "boolean"},
                         "seconds": {"type": "number"},
                         "error": {"type": "string"},
-                        "error_kind": {"enum": ["analysis", "input"]},
+                        "error_kind": {"enum": ["analysis", "input", "worker"]},
                         "clean": {"type": "boolean"},
                         "violations": {
                             "type": "array",
@@ -415,6 +415,89 @@ def schema_v1() -> Dict[str, Any]:
         "properties": {
             "schema": schema_field,
             "error": {"type": "string"},
+            "retry_after": {
+                "type": "integer",
+                "description": "on a 429, seconds to wait before retrying "
+                "(mirrors the Retry-After response header)",
+            },
+        },
+    }
+    histogram = {
+        "type": "object",
+        "description": "a cumulative latency histogram (Prometheus-style le "
+        "buckets, upper bounds in seconds)",
+        "required": ["count", "sum_seconds", "buckets"],
+        "properties": {
+            "count": {"type": "integer"},
+            "sum_seconds": {"type": "number"},
+            "buckets": {
+                "type": "object",
+                "additionalProperties": {"type": "integer"},
+            },
+        },
+    }
+    worker_stats = {
+        "type": "object",
+        "description": "worker-pool supervision state",
+        "properties": {
+            "configured": {"type": "integer"},
+            "alive": {"type": "integer"},
+            "restarts": {"type": "integer"},
+            "timeout_seconds": {"type": ["number", "null"]},
+        },
+    }
+    healthz = {
+        "type": "object",
+        "required": ["schema", "command", "status", "mode"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "healthz"},
+            "status": {"enum": ["ok", "draining"]},
+            "mode": {"enum": ["pool", "inline"]},
+            "workers": worker_stats,
+        },
+    }
+    metrics = {
+        "type": "object",
+        "required": [
+            "schema", "command", "mode", "uptime_seconds", "requests",
+            "in_flight", "queue_depth", "shed", "dedup_hits", "timeouts",
+            "worker_crashes", "worker_restarts", "latency",
+        ],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "metrics"},
+            "mode": {"enum": ["pool", "inline"]},
+            "uptime_seconds": {"type": "number"},
+            "requests": {"type": "object", "additionalProperties": {"type": "integer"}},
+            "in_flight": {"type": "integer"},
+            "queue_depth": {"type": "integer"},
+            "shed": {"type": "integer"},
+            "dedup_hits": {"type": "integer"},
+            "timeouts": {"type": "integer"},
+            "worker_crashes": {"type": "integer"},
+            "worker_restarts": {"type": "integer"},
+            "workers": worker_stats,
+            "cache": {
+                "type": "object",
+                "properties": {
+                    "hits": {"type": "integer"},
+                    "misses": {"type": "integer"},
+                    "hit_ratio": {"type": ["number", "null"]},
+                    "workers_reporting": {"type": "integer"},
+                },
+            },
+            "latency": {
+                "type": "object",
+                "required": ["request", "stages"],
+                "properties": {
+                    "request": {"$ref": "#/definitions/histogram"},
+                    "stages": {
+                        "type": "object",
+                        "additionalProperties": {"$ref": "#/definitions/histogram"},
+                    },
+                },
+            },
         },
     }
     return {
@@ -427,7 +510,11 @@ def schema_v1() -> Dict[str, Any]:
             "its 'command' value."
         ),
         "schema_version": SCHEMA_VERSION,
-        "definitions": {"diagnostic": diagnostic, "policy": policy},
+        "definitions": {
+            "diagnostic": diagnostic,
+            "policy": policy,
+            "histogram": histogram,
+        },
         "documents": {
             "analyze": analyze,
             "check": check,
@@ -437,5 +524,7 @@ def schema_v1() -> Dict[str, Any]:
             "policy": policy_doc,
             "cache-stats": cache_stats,
             "error": error,
+            "healthz": healthz,
+            "metrics": metrics,
         },
     }

@@ -1,45 +1,59 @@
-"""``vhdl-ifa serve``: a long-lived analysis service over one warm cache.
+"""``vhdl-ifa serve``: a fault-tolerant multi-tenant analysis service.
 
-A small asyncio HTTP server (stdlib only) that keeps one
-:class:`~repro.pipeline.stages.Pipeline` — and therefore one
-:class:`~repro.pipeline.cache.TieredArtifactCache` — alive across requests,
-so repeated analyses of the same design are served from warm artifacts
-instead of re-paying parse/elaborate/closure on every invocation.
+The server keeps one :class:`repro.workspace.Workspace` — and therefore one
+warm artifact cache and one named-policy registry — alive across requests.
+Requests are parsed and validated on the asyncio event loop; the CPU-bound
+analysis itself runs in one of two modes:
 
-The server is a thin shell over one :class:`repro.workspace.Workspace`
-(the v1 session facade): the workspace owns the warm cache and the named
-policy registry every request resolves against.
+**pool mode** (``workers >= 1``, the ``vhdl-ifa serve`` default)
+    Analyses are dispatched to a supervised pool of worker processes
+    (:mod:`repro.pipeline.pool`), each layering a per-worker in-memory cache
+    over the shared ``--cache-dir`` disk tier.  The pool provides the fault
+    model of a real multi-tenant service:
+
+    * **per-request timeouts** — a request that exceeds ``timeout`` seconds
+      answers with a structured ``504`` and its (possibly hung) worker is
+      killed and respawned; concurrent requests on other workers are
+      unaffected and the service never dies;
+    * **crash recovery** — a worker that dies mid-request (crash, OOM kill)
+      yields a structured ``500`` for that request only, and is respawned;
+    * **bounded admission with load shedding** — at most ``queue_depth``
+      requests are admitted at once; excess requests are shed immediately
+      with ``429`` and a ``Retry-After`` header, never queued unboundedly;
+    * **single-flight deduplication** — identical concurrent requests (same
+      content-addressed source digest, options, file label and policy) share
+      ONE analysis: followers await the leader's result and each gets its own
+      response (the ``dedup_hits`` counter counts the coalesced requests).
+
+**inline mode** (``workers=None``, the embedding/test default)
+    Analysis runs synchronously on the event loop, serialising requests —
+    the PR-4/PR-5 behaviour, kept for tests and callers that hand the server
+    a concrete in-memory cache object.
+
+Malformed, oversized (``413``) or non-JSON bodies are rejected on the event
+loop with structured ``4xx`` documents and never touch a worker; a client
+that disconnects mid-request cannot leak an admission slot.  Fault injection
+for all of the above is deterministic via :mod:`repro.pipeline.faults`
+(``faults=FaultPlan(...)`` or the ``VHDL_IFA_FAULTS`` environment switch).
 
 Endpoints
 ---------
-``POST /analyze``
-    Body: ``{"file": PATH}`` or ``{"source": TEXT}``, plus the optional
-    ``entity``, ``basic``, ``straight_line``, ``collapse``, ``self_loops``
-    keys mirroring the CLI flags.  The response body is byte-identical to
-    what ``vhdl-ifa analyze FILE --json`` prints for the same input and
-    cache state (both sides render :func:`repro.pipeline.render.analyze_document`
-    through :func:`repro.pipeline.render.json_text`).
-``POST /check``
-    Body: the ``analyze`` keys plus either ``secret`` (list, the two-level
-    policy) or ``policy`` (a registered policy name or an inline policy
-    document), and the optional ``output`` (list), ``transitive``,
-    ``ports_only`` keys.  The response is byte-identical to
-    ``vhdl-ifa check FILE --json ...``.
-``POST /policy``
-    Body: a declarative policy document (the TOML file format as JSON).
-    Validates it and echoes the normalised document; with a ``name`` key the
-    policy is also registered for later ``POST /check`` requests.
-``GET /version``
-    The package version (same source as ``vhdl-ifa --version``).
-``GET /stats``
-    Uptime, per-endpoint request counters, registered policies and the
-    cache statistics of both tiers.
+``POST /analyze`` / ``POST /check`` / ``POST /policy``
+    As documented in ``docs/cli.md`` and ``docs/serve.md``; analyze/check
+    response bodies are byte-identical to ``vhdl-ifa analyze --json`` /
+    ``check --json`` in both execution modes (worker and inline paths share
+    :func:`execute_request` and the render builders).
+``GET /healthz``
+    Liveness: ``200`` while serving, ``503`` while draining; worker counts.
+``GET /metrics``
+    Operational counters: queue depth and in-flight gauge, shed/dedup/
+    timeout/crash/restart counters, cache hit ratios, and per-stage latency
+    histograms.
+``GET /stats`` / ``GET /version``
+    The PR-4/PR-5 session statistics and package version, unchanged.
 
-Analysis runs synchronously on the event loop: requests are effectively
-serialised, which is the honest behaviour for a CPU-bound single-process
-service (run several server processes over one ``--cache-dir`` to scale
-out; the disk tier is multi-process safe).  Errors never kill the server:
-bad JSON or a failing analysis become a ``4xx`` JSON body ``{"error": ...}``.
+Shutdown: ``SIGTERM``/``SIGINT`` drain gracefully — stop accepting, let
+in-flight requests finish (bounded by ``drain_grace``), then stop the pool.
 Every response body carries the ``"schema": "vhdl-ifa/v1"`` stamp.
 """
 
@@ -47,14 +61,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.pipeline.cache import source_digest
+from repro.pipeline.faults import FaultInjector, FaultPlan
+from repro.pipeline.pool import PoolResult, WorkerPool
 from repro.pipeline.render import (
     analyze_document,
     json_text,
+    policy_summary,
     stamped,
     version_document,
 )
@@ -66,21 +85,117 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
-#: Requests larger than this are rejected instead of buffered.
+#: Default cap on request bodies; larger requests are rejected, not buffered.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Default bound on admitted (queued + running) analysis requests.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Histogram bucket upper bounds (seconds) for request/stage latencies.
+LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
 _REQUEST_ERRORS = (ReproError, OSError, UnicodeDecodeError)
 
+#: The pooled analysis endpoints (path → request kind).
+_ANALYSIS_PATHS = {"/analyze": "analyze", "/check": "check"}
+
+
+class _Histogram:
+    """A fixed-bucket latency histogram (Prometheus-style cumulative ``le``)."""
+
+    __slots__ = ("count", "total", "_bucket_counts")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self._bucket_counts = [0] * (len(LATENCY_BUCKETS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        for index, bound in enumerate(LATENCY_BUCKETS):
+            if seconds <= bound:
+                self._bucket_counts[index] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        buckets: Dict[str, int] = {}
+        cumulative = 0
+        for bound, count in zip(LATENCY_BUCKETS, self._bucket_counts):
+            cumulative += count
+            buckets[f"{bound:g}"] = cumulative
+        buckets["+inf"] = self.count
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.total, 6),
+            "buckets": buckets,
+        }
+
+
+def execute_request(
+    workspace: Any,
+    kind: str,
+    request: Dict[str, Any],
+    injector: Optional[FaultInjector] = None,
+) -> Tuple[int, Dict[str, Any]]:
+    """Run one validated analyze/check request against a workspace.
+
+    This is the single execution path both modes share — the inline server
+    calls it on the event loop, every pool worker calls it in its own
+    process — which is what keeps pooled responses byte-identical to inline
+    ones (and both identical to the CLI's ``--json`` output).  Errors are
+    classified exactly like the PR-4 server: anything the toolchain itself
+    diagnoses is a ``400`` document, everything else a ``500`` — never an
+    exception to the caller.
+    """
+    try:
+        if injector is not None:
+            injector.before_analysis(request.get("source", ""))
+        opts = {
+            "entity": request.get("entity"),
+            "improved": request.get("improved", True),
+            "loop_processes": request.get("loop_processes", True),
+        }
+        if kind == "analyze":
+            run = workspace.analyze_run(request["source"], **opts)
+            return 200, analyze_document(
+                run,
+                collapse=request.get("collapse", False),
+                self_loops=request.get("self_loops", False),
+                file=request.get("file"),
+            )
+        checked = workspace.check(
+            request["source"],
+            request["policy"],
+            outputs=request.get("outputs"),
+            transitive=request.get("transitive"),
+            restrict_to_ports=request.get("ports_only", False),
+            **opts,
+        )
+        return 200, checked.document(file=request.get("file"))
+    except _REQUEST_ERRORS as error:
+        return 400, {"error": str(error)}
+    except Exception as error:  # never kill the worker/server on one request
+        return 500, {"error": f"internal error: {error!r}"}
+
 
 class AnalysisServer:
-    """The request handlers plus the shared workspace state of one server.
+    """The request handlers plus the shared state of one server.
 
     ``workspace`` supplies the session state (cache, policy registry); when
-    omitted one is built around ``cache``.  ``self.pipeline`` aliases the
-    workspace's pipeline, so tests can keep instrumenting it directly.
+    omitted one is built around ``cache``.  ``workers`` switches on pool
+    mode (see the module docstring); ``timeout`` is the per-request
+    wall-clock budget in pool mode; ``queue_depth`` bounds admission;
+    ``faults`` arms deterministic fault injection in this server and its
+    workers.  ``self.pipeline`` aliases the workspace's pipeline, so tests
+    can keep instrumenting the inline path directly.
     """
 
     def __init__(
@@ -89,6 +204,12 @@ class AnalysisServer:
         port: int = 8765,
         cache: Optional[Any] = None,
         workspace: Optional[Any] = None,
+        *,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        max_body_bytes: int = MAX_BODY_BYTES,
+        faults: Optional[FaultPlan] = None,
     ):
         # Imported here: repro.workspace imports this package's siblings, so
         # a module-level import would be circular through repro.pipeline.
@@ -96,19 +217,66 @@ class AnalysisServer:
 
         if workspace is None:
             workspace = Workspace(cache=cache)
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
         self.workspace = workspace
         self.host = host
         self.port = port
         self.cache = workspace.cache
         self.pipeline = workspace.pipeline
+        self.workers = workers
+        self.timeout = timeout
+        self.queue_depth = queue_depth
+        self.max_body_bytes = max_body_bytes
+        self.faults = faults
         self.started_at = time.time()
         self.request_counts: Dict[str, int] = {}
+        self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[WorkerPool] = None
+        self._executor: Optional[Any] = None
+        self._injector = FaultInjector(faults) if faults is not None else None
+        # Admission / single-flight state (event-loop confined).
+        self._admitted = 0
+        self._inflight: Dict[str, asyncio.Future] = {}
+        # Operational counters for GET /metrics.
+        self._counters: Dict[str, int] = {
+            "shed": 0,
+            "dedup_hits": 0,
+            "timeouts": 0,
+            "worker_crashes": 0,
+        }
+        self._request_latency = _Histogram()
+        self._stage_latency: Dict[str, _Histogram] = {}
+        self._worker_meta: Dict[int, Dict[str, Any]] = {}
+        if self._injector is not None and not self._pool_mode:
+            # Inline mode applies cache corruption to its own cache tier
+            # (pool mode ships the plan to the workers instead).
+            wrapped = self._injector.wrap_cache(self.workspace.cache)
+            self.workspace.cache = wrapped
+            self.workspace.pipeline.cache = wrapped
+            self.cache = wrapped
+
+    @property
+    def _pool_mode(self) -> bool:
+        return self.workers is not None and self.workers >= 1
 
     # ------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
-        """Bind and start accepting connections; resolves the real port."""
+        """Bind, spawn the worker pool (pool mode), and start accepting."""
+        if self._pool_mode and self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = WorkerPool(
+                self.workers,
+                timeout=self.timeout,
+                fault_plan=self.faults,
+                **self.workspace.worker_configuration(),
+            )
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="vhdl-ifa-dispatch"
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -119,6 +287,30 @@ class AnalysisServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def drain(self, grace: float = 10.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work, stop.
+
+        ``grace`` bounds how long in-flight requests may take to finish;
+        whatever is still running afterwards is abandoned with the pool.
+        New connections are refused once draining starts (the listener is
+        closed), and ``GET /healthz`` reports ``503 draining``.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + grace
+        while self._admitted > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        await self.stop()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -137,8 +329,8 @@ class AnalysisServer:
             except _BadRequest as error:
                 await self._respond(writer, error.status, {"error": str(error)})
                 return
-            status, document = self._dispatch(method, path, body)
-            await self._respond(writer, status, document)
+            status, document, headers = await self._answer(method, path, body)
+            await self._respond(writer, status, document, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         finally:
@@ -148,9 +340,8 @@ class AnalysisServer:
             except ConnectionError:
                 pass
 
-    @staticmethod
     async def _read_request(
-        reader: asyncio.StreamReader,
+        self, reader: asyncio.StreamReader
     ) -> Tuple[str, str, bytes]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
@@ -171,8 +362,14 @@ class AnalysisServer:
                     raise _BadRequest("malformed Content-Length header")
                 if length < 0:
                     raise _BadRequest("malformed Content-Length header")
-        if length > MAX_BODY_BYTES:
-            raise _BadRequest("request body too large", status=413)
+        if length > self.max_body_bytes:
+            # Rejected before a single body byte is buffered — an oversized
+            # request can never reach a worker or an admission slot.
+            raise _BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+                status=413,
+            )
         body = b""
         if length:
             try:
@@ -182,14 +379,22 @@ class AnalysisServer:
         return method, path.split("?", 1)[0], body
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, document: Dict[str, Any]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         # Every body carries the schema stamp — including error documents.
         body = (json_text(stamped(document)) + "\n").encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
             "Content-Type: application/json; charset=utf-8\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -198,9 +403,29 @@ class AnalysisServer:
 
     # --------------------------------------------------------------- routing
 
+    async def _answer(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Route one request; analysis goes through the pool when one runs."""
+        if self._pool is not None and path in _ANALYSIS_PATHS and method == "POST":
+            route = f"{method} {path}"
+            self.request_counts[route] = self.request_counts.get(route, 0) + 1
+            try:
+                payload = self._parse_payload(body)
+            except _BadRequest as error:
+                return error.status, {"error": str(error)}, {}
+            return await self._handle_pooled(_ANALYSIS_PATHS[path], payload)
+        status, document = self._dispatch(method, path, body)
+        return status, document, {}
+
     def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, Any]]:
+        """The synchronous (inline) routing path.
+
+        Pool mode intercepts ``POST /analyze|/check`` before this method;
+        everything else — and every request in inline mode — lands here.
+        """
         route = f"{method} {path}"
         self.request_counts[route] = self.request_counts.get(route, 0) + 1
         if path in ("/analyze", "/check", "/policy"):
@@ -208,25 +433,25 @@ class AnalysisServer:
                 return 405, {"error": f"{path} expects POST, got {method}"}
             try:
                 payload = self._parse_payload(body)
-                if path == "/analyze":
-                    return 200, self._analyze(payload)
-                if path == "/check":
-                    return 200, self._check(payload)
-                return 200, self._policy(payload)
+                if path == "/policy":
+                    return 200, self._policy(payload)
+                return self._run_inline(_ANALYSIS_PATHS[path], payload)
             except _BadRequest as error:
                 return error.status, {"error": str(error)}
             except _REQUEST_ERRORS as error:
                 return 400, {"error": str(error)}
             except Exception as error:  # never kill the server on one request
                 return 500, {"error": f"internal error: {error!r}"}
-        if path == "/stats":
+        if path in ("/stats", "/version", "/healthz", "/metrics"):
             if method != "GET":
-                return 405, {"error": f"/stats expects GET, got {method}"}
-            return 200, self._stats()
-        if path == "/version":
-            if method != "GET":
-                return 405, {"error": f"/version expects GET, got {method}"}
-            return 200, version_document()
+                return 405, {"error": f"{path} expects GET, got {method}"}
+            if path == "/stats":
+                return 200, self._stats()
+            if path == "/version":
+                return 200, version_document()
+            if path == "/healthz":
+                return self._healthz()
+            return 200, self._metrics()
         return 404, {"error": f"unknown path {path!r}"}
 
     @staticmethod
@@ -239,7 +464,7 @@ class AnalysisServer:
             raise _BadRequest("request body must be a JSON object")
         return payload
 
-    # -------------------------------------------------------------- handlers
+    # ----------------------------------------------------- request building
 
     @staticmethod
     def _load_source(payload: Dict[str, Any]) -> Tuple[str, Optional[str]]:
@@ -256,23 +481,39 @@ class AnalysisServer:
             raise _BadRequest("'source' must be VHDL source text")
         return source, None
 
-    @staticmethod
-    def _analysis_keys(payload: Dict[str, Any]) -> Dict[str, Any]:
-        return {
+    def _build_request(self, kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a payload into the plain request dict both modes execute.
+
+        Everything that can be rejected without an analysis — missing or
+        unreadable sources, malformed option types, unknown policy names —
+        is rejected here, on the event loop: a bad request never costs an
+        admission slot or a worker round-trip.
+        """
+        source, file = self._load_source(payload)
+        request: Dict[str, Any] = {
+            "source": source,
+            "file": file,
             "entity": payload.get("entity"),
             "improved": not payload.get("basic", False),
             "loop_processes": not payload.get("straight_line", False),
         }
-
-    def _analyze(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        source, file = self._load_source(payload)
-        run = self.workspace.analyze_run(source, **self._analysis_keys(payload))
-        return analyze_document(
-            run,
-            collapse=bool(payload.get("collapse", False)),
-            self_loops=bool(payload.get("self_loops", False)),
-            file=file,
+        if kind == "analyze":
+            request["collapse"] = bool(payload.get("collapse", False))
+            request["self_loops"] = bool(payload.get("self_loops", False))
+            return request
+        outputs = payload.get("output", [])
+        if not isinstance(outputs, list):
+            raise _BadRequest("'output' must be a list of resource names")
+        transitive = payload.get("transitive")
+        request.update(
+            {
+                "outputs": outputs or None,
+                "policy": self._resolve_policy(payload),
+                "transitive": None if transitive is None else bool(transitive),
+                "ports_only": bool(payload.get("ports_only", False)),
+            }
         )
+        return request
 
     def _resolve_policy(self, payload: Dict[str, Any]) -> Any:
         """The policy of one ``/check`` request: named/inline, or two-level."""
@@ -296,22 +537,120 @@ class AnalysisServer:
             raise _BadRequest("'secret' must be a list of resource names")
         return TwoLevelPolicy(secret_resources=secrets)
 
-    def _check(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        source, file = self._load_source(payload)
-        outputs = payload.get("output", [])
-        if not isinstance(outputs, list):
-            raise _BadRequest("'output' must be a list of resource names")
-        policy = self._resolve_policy(payload)
-        transitive = payload.get("transitive")
-        checked = self.workspace.check(
-            source,
-            policy,
-            outputs=outputs or None,
-            transitive=None if transitive is None else bool(transitive),
-            restrict_to_ports=bool(payload.get("ports_only", False)),
-            **self._analysis_keys(payload),
+    def _dedup_key(self, kind: str, request: Dict[str, Any]) -> str:
+        """The single-flight identity of one request.
+
+        Built on the same content address the artifact cache keys by (the
+        source digest) plus every input that shapes the response document —
+        two requests with equal keys are guaranteed byte-identical answers,
+        so the leader's document can safely serve every follower.
+        """
+        identity = {
+            key: value
+            for key, value in request.items()
+            if key not in ("source", "policy")
+        }
+        identity["kind"] = kind
+        identity["digest"] = source_digest(request["source"])
+        if request.get("policy") is not None:
+            identity["policy"] = policy_summary(request["policy"])
+        return json.dumps(identity, sort_keys=True)
+
+    # ------------------------------------------------------------ pool path
+
+    async def _handle_pooled(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Admission control, single-flight dedup, and pool dispatch."""
+        try:
+            request = self._build_request(kind, payload)
+        except _BadRequest as error:
+            return error.status, {"error": str(error)}, {}
+        except _REQUEST_ERRORS as error:
+            return 400, {"error": str(error)}, {}
+
+        key = self._dedup_key(kind, request)
+        leader = self._inflight.get(key)
+        if leader is not None:
+            # Single flight: coalesce onto the in-flight identical request.
+            # shield() keeps a follower's disconnect from cancelling the
+            # leader's future (other followers may still be waiting on it).
+            self._counters["dedup_hits"] += 1
+            status, document = await asyncio.shield(leader)
+            return status, document, {}
+
+        if self._admitted >= self.queue_depth:
+            self._counters["shed"] += 1
+            retry_after = 1
+            return (
+                429,
+                {
+                    "error": (
+                        f"server at capacity ({self.queue_depth} requests "
+                        "admitted); retry later"
+                    ),
+                    "retry_after": retry_after,
+                },
+                {"Retry-After": str(retry_after)},
+            )
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._admitted += 1
+        started = time.perf_counter()
+        try:
+            result: PoolResult = await loop.run_in_executor(
+                self._executor, self._pool.run, kind, request
+            )
+            self._note_pool_result(result, time.perf_counter() - started)
+            outcome = (result.status, result.document)
+        except Exception as error:  # supervisor bug — still answer the client
+            outcome = (500, {"error": f"internal error: {error!r}"})
+        finally:
+            # The slot and the single-flight entry are released no matter
+            # how the request ends (including client disconnects upstream).
+            self._admitted -= 1
+            self._inflight.pop(key, None)
+        if not future.done():
+            future.set_result(outcome)
+        return outcome[0], outcome[1], {}
+
+    def _note_pool_result(self, result: PoolResult, elapsed: float) -> None:
+        if result.timed_out:
+            self._counters["timeouts"] += 1
+        if result.crashed:
+            self._counters["worker_crashes"] += 1
+        if result.worker >= 0 and result.meta:
+            self._worker_meta[result.worker] = result.meta
+        if result.status == 200:
+            self._observe_latencies(elapsed, result.document)
+
+    def _observe_latencies(self, elapsed: float, document: Dict[str, Any]) -> None:
+        self._request_latency.observe(elapsed)
+        timings = document.get("timings")
+        if isinstance(timings, dict):
+            for stage, seconds in timings.items():
+                histogram = self._stage_latency.get(stage)
+                if histogram is None:
+                    histogram = self._stage_latency[stage] = _Histogram()
+                histogram.observe(float(seconds))
+
+    # ---------------------------------------------------------- inline path
+
+    def _run_inline(
+        self, kind: str, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        request = self._build_request(kind, payload)
+        started = time.perf_counter()
+        status, document = execute_request(
+            self.workspace, kind, request, self._injector
         )
-        return checked.document(file=file)
+        if status == 200:
+            self._observe_latencies(time.perf_counter() - started, document)
+        return status, document
+
+    # -------------------------------------------------------------- handlers
 
     def _policy(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Validate (and optionally register) a declarative policy document.
@@ -319,7 +658,7 @@ class AnalysisServer:
         A name that is already registered — e.g. preloaded by the operator
         via ``serve --policy`` — cannot be replaced with a *different*
         policy: that would let any client silently weaken the verdicts of
-        later ``/check`` requests.  Re-posting an identical document is
+        later ``POST /check`` requests.  Re-posting an identical document is
         idempotent and fine.
         """
         from repro.security.policy_file import policy_from_dict, policy_to_dict
@@ -356,6 +695,71 @@ class AnalysisServer:
             document["cache"] = self.cache.stats()
         return stamped(document)
 
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness: 200 while serving, 503 once draining has started."""
+        document: Dict[str, Any] = {
+            "command": "healthz",
+            "status": "draining" if self.draining else "ok",
+            "mode": "pool" if self._pool is not None else "inline",
+        }
+        if self._pool is not None:
+            document["workers"] = self._pool.stats()
+        return (503 if self.draining else 200), stamped(document)
+
+    def _metrics(self) -> Dict[str, Any]:
+        """The operational counters of this server process."""
+        document: Dict[str, Any] = {
+            "command": "metrics",
+            "mode": "pool" if self._pool is not None else "inline",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "requests": dict(sorted(self.request_counts.items())),
+            "in_flight": self._admitted,
+            "queue_depth": self.queue_depth,
+            "shed": self._counters["shed"],
+            "dedup_hits": self._counters["dedup_hits"],
+            "timeouts": self._counters["timeouts"],
+            "worker_crashes": self._counters["worker_crashes"],
+            "worker_restarts": self._pool.restarts if self._pool is not None else 0,
+        }
+        if self._pool is not None:
+            document["workers"] = self._pool.stats()
+            document["cache"] = self._aggregate_worker_cache()
+        elif self.cache is not None:
+            stats = self.cache.stats()
+            document["cache"] = self._with_hit_ratio(
+                {"hits": stats.get("hits", 0), "misses": stats.get("misses", 0)}
+            )
+        document["latency"] = {
+            "request": self._request_latency.to_dict(),
+            "stages": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._stage_latency.items())
+            },
+        }
+        return stamped(document)
+
+    def _aggregate_worker_cache(self) -> Dict[str, Any]:
+        """Summed cache counters from each worker's latest self-report."""
+        hits = sum(
+            meta.get("cache", {}).get("hits", 0)
+            for meta in self._worker_meta.values()
+        )
+        misses = sum(
+            meta.get("cache", {}).get("misses", 0)
+            for meta in self._worker_meta.values()
+        )
+        return self._with_hit_ratio(
+            {"hits": hits, "misses": misses, "workers_reporting": len(self._worker_meta)}
+        )
+
+    @staticmethod
+    def _with_hit_ratio(counters: Dict[str, Any]) -> Dict[str, Any]:
+        lookups = counters.get("hits", 0) + counters.get("misses", 0)
+        counters["hit_ratio"] = (
+            round(counters["hits"] / lookups, 4) if lookups else None
+        )
+        return counters
+
 
 class _BadRequest(Exception):
     """A request the server answers with a 4xx JSON error body."""
@@ -373,7 +777,8 @@ class ServerThread:
         with ServerThread(AnalysisServer(port=0, cache=...)) as server:
             ...  # server.port is the bound port
 
-    The event loop lives on the thread; ``__exit__`` stops it and joins.
+    The event loop lives on the thread; ``__exit__`` stops it and joins
+    (stopping the worker pool too, in pool mode).
     """
 
     def __init__(self, server: AnalysisServer):
@@ -397,7 +802,7 @@ class ServerThread:
             target=run, name="vhdl-ifa-serve", daemon=True
         )
         self._thread.start()
-        if not started.wait(timeout=30):
+        if not started.wait(timeout=60):
             raise RuntimeError("analysis server failed to start in time")
         return self.server
 
@@ -405,7 +810,7 @@ class ServerThread:
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._loop.stop)
         if self._thread is not None:
-            self._thread.join(timeout=30)
+            self._thread.join(timeout=60)
 
 
 def serve(
@@ -414,19 +819,45 @@ def serve(
     cache: Optional[Any] = None,
     announce=None,
     workspace: Optional[Any] = None,
+    *,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    faults: Optional[FaultPlan] = None,
+    drain_grace: float = 10.0,
 ) -> None:
     """Run a server until interrupted (the ``vhdl-ifa serve`` body).
 
     ``announce`` is called with the bound URL once the server is listening
     (the CLI prints it to stderr); port 0 binds an ephemeral port.
     ``workspace`` supplies a pre-configured session (cache, named policies).
+    ``SIGTERM`` and ``SIGINT`` trigger a graceful drain: the listener closes
+    immediately, in-flight requests get up to ``drain_grace`` seconds to
+    finish, then the worker pool stops.
     """
-    server = AnalysisServer(host=host, port=port, cache=cache, workspace=workspace)
+    server = AnalysisServer(
+        host=host,
+        port=port,
+        cache=cache,
+        workspace=workspace,
+        workers=workers,
+        timeout=timeout,
+        queue_depth=queue_depth,
+        faults=faults,
+    )
 
     async def main() -> None:
         await server.start()
         if announce is not None:
             announce(f"http://{server.host}:{server.port}")
-        await server.serve_forever()
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal support on loops
+        await stop_event.wait()
+        await server.drain(drain_grace)
 
     asyncio.run(main())

@@ -337,10 +337,20 @@ class Workspace:
             parallel=parallel,
             max_workers=max_workers,
             cache=self.cache,
-            cache_dir=self.cache_dir,
-            no_cache=self.no_cache,
             policy=resolved_policy,
+            **self.worker_configuration(),
         )
+
+    def worker_configuration(self) -> Dict[str, Any]:
+        """The cache spec worker processes rebuild this session's tiers from.
+
+        Caches hold live pickles and open file handles, so they never cross
+        a process boundary; what does cross is this pair — the shared disk
+        root (if any) and the no-cache override — from which every batch
+        pool worker and every serve pool worker layers its own in-memory
+        tier over the workspace's persistent store.
+        """
+        return {"cache_dir": self.cache_dir, "no_cache": self.no_cache}
 
     # ---------------------------------------------------------------- stats
 

@@ -159,6 +159,38 @@ class TestCorruptionIsEvictedNotRaised:
         index = json.loads((Path(cache_dir) / "index.json").read_text())
         assert index["version"] == FORMAT_VERSION
 
+    @pytest.mark.parametrize(
+        "torn_entries",
+        [42, ["a", "b"], "entries-as-text", {"some/entry.pkl": "not-a-dict"}],
+        ids=["int", "list", "string", "non-dict-values"],
+    )
+    def test_torn_index_shapes_are_rebuilt_not_raised(self, cache_dir, torn_entries):
+        # A concurrently-rewritten index can be valid JSON of the wrong
+        # shape; that must behave exactly like unparsable bytes: rebuild
+        # from the entry files, keep every entry servable.
+        source = workloads.challenge_f_program()
+        _populate(cache_dir, source)
+        index_path = Path(cache_dir) / "index.json"
+        index_path.write_text(
+            json.dumps({"version": FORMAT_VERSION, "entries": torn_entries}),
+            encoding="utf-8",
+        )
+        warm = _fresh_run(cache_dir, source)
+        assert warm.cached_stages == ANALYSIS_STAGE_NAMES
+        rebuilt = json.loads(index_path.read_text(encoding="utf-8"))
+        assert isinstance(rebuilt["entries"], dict)
+        assert all(isinstance(entry, dict) for entry in rebuilt["entries"].values())
+
+    def test_torn_index_still_accepts_new_puts(self, cache_dir):
+        _populate(cache_dir, workloads.challenge_f_program())
+        index_path = Path(cache_dir) / "index.json"
+        index_path.write_text(
+            json.dumps({"version": FORMAT_VERSION, "entries": 7}), encoding="utf-8"
+        )
+        # The store must come up writable, not just readable.
+        run = _fresh_run(cache_dir, workloads.producer_consumer_program())
+        assert run.result.summary()
+
     def test_missing_universe_snapshot_is_a_miss(self, cache_dir):
         source = workloads.producer_consumer_program()
         _populate(cache_dir, source)
