@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench check docs examples schema load-smoke
+.PHONY: test bench check docs examples schema load-smoke lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -11,10 +11,21 @@ bench:
 # Tier-1 tests plus the perf regression gate: fails when any benchmark
 # recorded in the committed BENCH_scaling.json snapshot slowed down >1.5x.
 # Same round count as `make bench` so min-of-rounds is comparable.
-check:
+check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/run_benchmarks.py --compare BENCH_scaling.json
 	$(PYTHON) scripts/load_smoke.py
+
+# Repo invariant gate (scripts/check_invariants.py, stdlib AST lint) plus
+# the mypy typed-core gate on repro.analysis.lint.  mypy runs only when
+# installed — CI installs it; the bare local toolchain may not have it.
+lint:
+	$(PYTHON) scripts/check_invariants.py
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy -p repro.analysis.lint; \
+	else \
+		echo "lint: mypy not installed, skipping typed-core gate"; \
+	fi
 
 # A few seconds of concurrent traffic against the pooled serve mode:
 # distinct-entity clients, a single-flight dedup wave, a structured 400,

@@ -185,6 +185,48 @@ def test_batch_throughput_warm_cache(benchmark, report, batch_jobs):
     )
 
 
+def test_batch_lint_warm_cache(benchmark, report, batch_jobs):
+    """Linting the batch workload over a warm cache.
+
+    The lint stage is content-addressed like every other pipeline stage, so
+    a warm re-run serves the full-catalog findings from the cache; this
+    prices the per-job overhead the ``--lint`` flag adds to an
+    already-cached batch (configuration filtering + section rendering).
+    """
+    from repro.analysis.lint import LintConfig
+
+    cache = ArtifactCache()
+    lint = LintConfig()
+    cold = _assert_batch_ok(
+        run_batch(
+            batch_jobs, AnalysisOptions(), parallel=False, cache=cache, lint=lint
+        )
+    )
+
+    def run():
+        warm = _assert_batch_ok(
+            run_batch(
+                batch_jobs, AnalysisOptions(), parallel=False, cache=cache,
+                lint=lint,
+            )
+        )
+        assert [item.text for item in warm.items] == [item.text for item in cold.items]
+        return warm
+
+    warm = benchmark(run)
+    cached = set(warm.items[0].data["cached_stages"])
+    assert "lint" in cached
+    findings_total = sum(
+        item.data["lint"]["summary"]["findings"] for item in warm.items
+    )
+    report(
+        jobs=len(batch_jobs),
+        entities=BATCH_ENTITIES,
+        findings_total=findings_total,
+        cached_stages_per_job=sorted(cached),
+    )
+
+
 def test_batch_throughput_disk_warm(benchmark, report, batch_jobs, tmp_path_factory):
     """A cold process over a populated ``--cache-dir``: disk-served stages.
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency gate (no dependencies beyond the stdlib).
 
-Checks four things, and exits non-zero listing every failure:
+Checks five things, and exits non-zero listing every failure:
 
 1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
    every relative link target (minus any ``#anchor``) names an existing
@@ -15,6 +15,9 @@ Checks four things, and exits non-zero listing every failure:
    in the docs must list exactly the ``POLICY_KEYS`` of the loader.
 4. ``docs/serve.md`` documents every flag the ``serve`` subparser
    registers in ``cli.py`` (the ops guide must not fall behind the CLI).
+5. ``docs/lint.md`` catalogues every lint rule code registered in
+   ``src/repro/analysis/lint/rules.py`` — a rule without a catalog entry
+   (or a catalog entry for a removed rule) fails the gate.
 
 Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
 CI runs it as the ``docs`` job.
@@ -149,6 +152,43 @@ def check_serve_flags() -> list[str]:
     return failures
 
 
+#: code = "IFA101" — a lint rule's stable diagnostic code.
+_LINT_CODE = re.compile(r"^\s*code\s*=\s*[\"'](IFA[0-9]{3})[\"']", re.MULTILINE)
+
+
+def check_lint_catalog() -> list[str]:
+    """``docs/lint.md`` must catalogue every registered lint rule code."""
+    rules_source = (
+        REPO_ROOT / "src" / "repro" / "analysis" / "lint" / "rules.py"
+    )
+    catalog = REPO_ROOT / "docs" / "lint.md"
+    if not catalog.exists():
+        return ["docs/lint.md: the lint rule catalog is missing"]
+    registered = set(_LINT_CODE.findall(rules_source.read_text(encoding="utf-8")))
+    if not registered:
+        return [
+            f"{rules_source.relative_to(REPO_ROOT)}: found no "
+            "code = \"IFAnnn\" rule registrations"
+        ]
+    text = catalog.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`(IFA[0-9]{3})`", text))
+    # Only table rows count as catalog *entries* — prose may legitimately
+    # mention the flow checker's IFA001/IFA002.
+    entries = set(re.findall(r"^\|\s*`(IFA[0-9]{3})`", text, re.MULTILINE))
+    failures = []
+    for code in sorted(registered - documented):
+        failures.append(
+            f"lint rule {code!r} is registered in rules.py but docs/lint.md "
+            "does not catalogue it"
+        )
+    for code in sorted(entries - registered):
+        failures.append(
+            f"docs/lint.md catalogues {code!r} but rules.py registers no "
+            "such rule"
+        )
+    return failures
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md"]
     docs_dir = REPO_ROOT / "docs"
@@ -157,6 +197,7 @@ def main() -> int:
     failures.extend(check_cli_reference())
     failures.extend(check_policy_keys())
     failures.extend(check_serve_flags())
+    failures.extend(check_lint_catalog())
     for failure in failures:
         print(f"docs check: {failure}", file=sys.stderr)
     if failures:
@@ -165,7 +206,8 @@ def main() -> int:
     print(
         f"docs check: {len(documents)} documents OK "
         "(links resolve, CLI reference matches cli.py, policy keys match "
-        "policy_file.py, serve flags documented in serve.md)"
+        "policy_file.py, serve flags documented in serve.md, lint catalog "
+        "matches rules.py)"
     )
     return 0
 

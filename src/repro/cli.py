@@ -19,12 +19,20 @@ Subcommands
     Run the analysis and check a policy: either the two-level policy built
     from ``--secret``/``--output``, or a declarative TOML/JSON policy file
     (clearance levels, resource patterns, permitted flows, checking mode).
-    Exits with status 3 when a violation is found.
+    Exits with status 3 when a violation is found (``--fail-on never``
+    reports without failing).
+``lint FILE``
+    Run the static-analysis rule catalog (``docs/lint.md``) over the cached
+    pipeline artifacts; ``--policy`` supplies a ``[lint]`` table (rule
+    selection, severity overrides), ``--fail-on`` picks the severity that
+    trips exit code 3 (default: ``error``), ``--json`` emits the ``lint``
+    document.
 ``batch FILE [FILE ...]``
     Analyse many files (or every entity of each file with ``--all-entities``)
     through the staged pipeline, in parallel by default; per-file output is
     byte-identical to running ``analyze`` on each file.  With ``--policy``
-    every job becomes a policy check.
+    every job becomes a policy check; ``--lint`` adds the per-file lint
+    section.
 ``simulate FILE --set PORT=VALUE``
     Execute the design with the delta-cycle simulator and print the final
     signal values.  All ``--set`` stimuli are validated before the first
@@ -33,16 +41,17 @@ Subcommands
     Inspect or empty the persistent artifact store.
 ``serve``
     Long-lived HTTP service: ``POST /analyze``, ``POST /check``,
-    ``POST /policy``, ``GET /version`` and ``GET /stats`` over one warm
-    two-tier cache; responses are byte-identical to ``analyze --json`` /
-    ``check --json``.
+    ``POST /lint``, ``POST /policy``, ``GET /version`` and ``GET /stats``
+    over one warm two-tier cache; responses are byte-identical to
+    ``analyze --json`` / ``check --json`` / ``lint --json``.
 
 Exit codes (uniform across subcommands, see ``docs/cli.md``):
-``0`` success (and a clean ``check``); ``1`` analysis or policy error (any
-:class:`~repro.errors.ReproError`: parse, elaboration, analysis, policy-file
-validation, bad ``--set``/``--output``); ``2`` unreadable or undecodable
-input and usage errors; ``3`` policy violation found (``check``, and
-``batch --policy``); ``141`` broken pipe.
+``0`` success (and a clean ``check``/``lint``); ``1`` analysis or policy
+error (any :class:`~repro.errors.ReproError`: parse, elaboration, analysis,
+policy-file validation, bad ``--set``/``--output``); ``2`` unreadable or
+undecodable input and usage errors; ``3`` policy violation found (``check``,
+``batch --policy``) or lint finding at/above ``--fail-on`` (``lint``,
+``batch --lint``); ``141`` broken pipe.
 
 All analysis subcommands accept ``--cache-dir DIR`` (persist artifacts
 across invocations in a :class:`repro.pipeline.cache.DiskArtifactCache`) and
@@ -188,7 +197,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
         _print_json(checked.document(file=args.file))
     else:
         print(checked.to_text())
-    return checked.exit_code
+    # Policy violations are all severity "error", so --fail-on warning and
+    # the default behave identically here; "never" turns them informational.
+    return EXIT_OK if args.fail_on == "never" else checked.exit_code
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    workspace = _workspace(args)
+    linted = workspace.lint(
+        _read_source(args.file),
+        policy=args.policy or None,
+        fail_on=args.fail_on,
+        **_analysis_opts(args),
+    )
+    if args.json:
+        _print_json(linted.document(file=args.file))
+    else:
+        print(linted.to_text())
+    return linted.exit_code
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -213,6 +239,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         dot=args.dot,
         improved=not args.basic,
         loop_processes=not args.straight_line,
+        lint=True if args.lint else None,
+        fail_on=args.fail_on,
     )
     if args.json:
         _print_json(report.to_json_dict())
@@ -320,6 +348,19 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fail_on_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared severity → exit-code threshold (``check``/``lint``/``batch``)."""
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help=(
+            "lowest finding severity that trips exit code 3 (default: "
+            "error; 'never' reports findings without failing)"
+        ),
+    )
+
+
 def _add_graph_flags(parser: argparse.ArgumentParser) -> None:
     """The graph-shaping flags shared by ``analyze``, ``kemmerer``, ``batch``."""
     parser.add_argument(
@@ -416,8 +457,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable verdict (violations, stage timings)",
     )
+    _add_fail_on_flag(check_p)
     _add_cache_flags(check_p)
     check_p.set_defaults(handler=_cmd_check)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the static-analysis rule catalog (docs/lint.md)"
+    )
+    lint_p.add_argument("file", help="VHDL1 source file")
+    lint_p.add_argument("--entity", default=None, help="entity to elaborate")
+    lint_p.add_argument(
+        "--policy",
+        default=None,
+        metavar="FILE",
+        help=(
+            "TOML/JSON policy file whose [lint] table selects rules and "
+            "overrides severities"
+        ),
+    )
+    lint_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
+    lint_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
+    lint_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable lint document (findings, timings)",
+    )
+    _add_fail_on_flag(lint_p)
+    _add_cache_flags(lint_p)
+    lint_p.set_defaults(handler=_cmd_lint)
 
     batch_p = sub.add_parser(
         "batch", help="analyse many files through the staged pipeline"
@@ -446,6 +513,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="check every job against this TOML/JSON policy file",
     )
+    batch_p.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "add a per-file lint section (the --policy file's [lint] table "
+            "configures it)"
+        ),
+    )
     batch_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
     batch_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
     _add_graph_flags(batch_p)
@@ -454,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one machine-readable document for the whole batch",
     )
+    _add_fail_on_flag(batch_p)
     _add_cache_flags(batch_p)
     batch_p.set_defaults(handler=_cmd_batch)
 

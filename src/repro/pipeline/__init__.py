@@ -44,8 +44,12 @@ from repro.pipeline.render import (
     analyze_document,
     check_document,
     json_text,
+    lint_document,
+    lint_json,
+    lint_section,
     policy_summary,
     render_analysis_text,
+    render_lint_text,
     report_json,
     schema_v1,
     select_graph,
@@ -56,6 +60,7 @@ from repro.pipeline.serve import AnalysisServer, ServerThread, serve
 from repro.pipeline.stages import (
     ANALYSIS_STAGES,
     KEMMERER_STAGES,
+    LINT_STAGES,
     STAGE_NAMES,
     Pipeline,
     PipelineContext,
@@ -77,6 +82,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "KEMMERER_STAGES",
+    "LINT_STAGES",
     "Pipeline",
     "PipelineContext",
     "PipelineResult",
@@ -93,9 +99,13 @@ __all__ = [
     "entities_in",
     "expand_jobs",
     "json_text",
+    "lint_document",
+    "lint_json",
+    "lint_section",
     "open_cache",
     "policy_summary",
     "render_analysis_text",
+    "render_lint_text",
     "report_json",
     "run_batch",
     "run_job",

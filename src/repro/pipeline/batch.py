@@ -38,8 +38,10 @@ from repro.pipeline.cache import open_cache, source_digest
 from repro.pipeline.faults import install_process_injector, process_injector
 from repro.pipeline.render import (
     analysis_json,
+    lint_section,
     policy_summary,
     render_analysis_text,
+    render_lint_text,
     report_json,
     select_graph,
     stamped,
@@ -108,6 +110,10 @@ class BatchReport:
     parallel: bool = False
     workers: int = 1
     policy: Optional[Any] = None
+    fail_on: str = "error"
+    """The severity threshold behind :attr:`exit_code` (``--fail-on``):
+    ``"error"`` (the default), ``"warning"`` (warnings fail too), or
+    ``"never"`` (findings and violations never affect the exit code)."""
 
     @property
     def ok(self) -> bool:
@@ -125,18 +131,37 @@ class BatchReport:
         return any(item.clean is False for item in self.items)
 
     @property
+    def lint_findings_found(self) -> bool:
+        """True when a lint section of any job trips :attr:`fail_on`."""
+        if self.fail_on == "never":
+            return False
+        for item in self.items:
+            summary = ((item.data or {}).get("lint") or {}).get("summary")
+            if summary is None:
+                continue
+            if summary["errors"]:
+                return True
+            if self.fail_on == "warning" and summary["warnings"]:
+                return True
+        return False
+
+    @property
     def exit_code(self) -> int:
         """The CLI exit code for this run, most severe condition first:
         2 when any job failed on unreadable input, 1 when any job failed in
-        analysis, 3 when every job ran but a policy violation was found,
-        0 otherwise — mirroring the single-file subcommands.
+        analysis, 3 when every job ran but a policy violation or a lint
+        finding at/above :attr:`fail_on` was found, 0 otherwise — mirroring
+        the single-file subcommands (``--fail-on never`` turns verdicts
+        informational).
         """
         failures = self.failures
         if any(item.error_kind == "input" for item in failures):
             return 2
         if failures:
             return 1
-        if self.violations_found:
+        if self.fail_on != "never" and self.violations_found:
+            return 3
+        if self.lint_findings_found:
             return 3
         return 0
 
@@ -223,6 +248,7 @@ def run_job(
     dot: bool = False,
     pipeline: Optional[Pipeline] = None,
     policy: Optional[Any] = None,
+    lint: Optional[Any] = None,
 ) -> BatchItem:
     """Analyse one job and render its output; errors become the outcome.
 
@@ -230,7 +256,11 @@ def run_job(
     ``analysis_json`` payload).  With a policy the job becomes a check: the
     pipeline's report stage runs (in the policy's preferred transitive mode),
     the text is the covert-channel report, the payload is the ``check``-style
-    report document, and ``clean`` carries the verdict.
+    report document, and ``clean`` carries the verdict.  ``lint`` (a
+    :class:`~repro.analysis.lint.LintConfig`) additionally runs the cached
+    lint stage and rides a ``"lint"`` section — the exact
+    :func:`~repro.pipeline.render.lint_section` body the single-file ``lint``
+    command emits — on the payload, plus the lint text after the rendering.
     """
     if pipeline is None:
         pipeline = Pipeline()
@@ -240,36 +270,48 @@ def run_job(
         if job.entity is not None:
             options = dataclasses.replace(options, entity=job.entity)
         if policy is not None:
-            run = pipeline.run(
-                source,
-                options,
-                policy=policy,
-                report_options={
-                    "transitive": bool(getattr(policy, "transitive", False))
-                },
+            report_options = {
+                "transitive": bool(getattr(policy, "transitive", False))
+            }
+            if lint is not None:
+                run = pipeline.run_lint(
+                    source, options, policy=policy, report_options=report_options
+                )
+            else:
+                run = pipeline.run(
+                    source, options, policy=policy, report_options=report_options
+                )
+            text = run.report.to_text()
+            data = report_json(run)
+        else:
+            if lint is not None:
+                run = pipeline.run_lint(source, options)
+            else:
+                run = pipeline.run(source, options)
+            graph = select_graph(run.result, collapse, self_loops)
+            text = render_analysis_text(
+                run.result,
+                collapse=collapse,
+                self_loops=self_loops,
+                dot=dot,
+                graph=graph,
             )
-            return BatchItem(
-                job=job,
-                ok=True,
-                text=run.report.to_text(),
-                data=report_json(run),
-                seconds=time.perf_counter() - started,
-                clean=run.report.is_clean,
+            data = analysis_json(
+                run, collapse=collapse, self_loops=self_loops, graph=graph
             )
-        run = pipeline.run(source, options)
-        graph = select_graph(run.result, collapse, self_loops)
-        text = render_analysis_text(
-            run.result, collapse=collapse, self_loops=self_loops, dot=dot, graph=graph
-        )
-        data = analysis_json(
-            run, collapse=collapse, self_loops=self_loops, graph=graph
-        )
+        if lint is not None:
+            findings = lint.apply(run.artifacts.lint)
+            data["lint"] = lint_section(findings)
+            text = "\n\n".join(
+                (text, render_lint_text(run.result.design.name, findings))
+            )
         return BatchItem(
             job=job,
             ok=True,
             text=text,
             data=data,
             seconds=time.perf_counter() - started,
+            clean=run.report.is_clean if policy is not None else None,
         )
     except _JOB_ERRORS as error:
         return BatchItem(
@@ -296,7 +338,7 @@ def _init_worker(cache_dir: Optional[str] = None, no_cache: bool = False) -> Non
 
 
 def _run_job_in_worker(payload) -> BatchItem:
-    job, options, collapse, self_loops, dot, policy = payload
+    job, options, collapse, self_loops, dot, policy, lint = payload
     # The job path is the fault trigger text, so a test can crash or delay
     # exactly one job of a batch.
     process_injector().before_analysis(job.path)
@@ -308,6 +350,7 @@ def _run_job_in_worker(payload) -> BatchItem:
         dot=dot,
         pipeline=_WORKER_PIPELINE,
         policy=policy,
+        lint=lint,
     )
 
 
@@ -359,6 +402,8 @@ def run_batch(
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
     policy: Optional[Any] = None,
+    lint: Optional[Any] = None,
+    fail_on: str = "error",
 ) -> BatchReport:
     """Analyse every job; results come back in submission order.
 
@@ -371,11 +416,14 @@ def run_batch(
     job — run two batches over the same cache and the second one is served
     from warm artifacts.  ``policy`` turns every job into a policy check
     (see :func:`run_job`); the policy must be picklable for parallel runs.
+    ``lint`` (a picklable :class:`~repro.analysis.lint.LintConfig`) adds the
+    per-job lint section; ``fail_on`` sets the severity threshold behind
+    :attr:`BatchReport.exit_code`.
     """
     if options is None:
         options = AnalysisOptions()
     job_list = list(jobs)
-    report = BatchReport(parallel=parallel, policy=policy)
+    report = BatchReport(parallel=parallel, policy=policy, fail_on=fail_on)
     started = time.perf_counter()
 
     if parallel:
@@ -383,7 +431,8 @@ def run_batch(
         workers = max(1, min(workers, len(job_list) or 1))
         report.workers = workers
         payloads = [
-            (job, options, collapse, self_loops, dot, policy) for job in job_list
+            (job, options, collapse, self_loops, dot, policy, lint)
+            for job in job_list
         ]
         results = _pool_results(payloads, workers, cache_dir, no_cache)
         # A job that takes its worker process down (crash, OOM kill) breaks
@@ -420,6 +469,7 @@ def run_batch(
                 dot=dot,
                 pipeline=pipeline,
                 policy=policy,
+                lint=lint,
             )
             for job in job_list
         ]

@@ -15,7 +15,7 @@ why a server response is byte-identical to the corresponding CLI output.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.pipeline.artifacts import AnalysisResult, PipelineResult
 from repro.version import version
@@ -138,6 +138,69 @@ def report_json(pipeline: PipelineResult, file: Optional[str] = None) -> Dict[st
     return document
 
 
+def lint_section(findings: Sequence[Any]) -> Dict[str, Any]:
+    """The shared lint body: verdict, findings and severity counters.
+
+    ``findings`` are :class:`~repro.security.report.Diagnostic` records with
+    any policy selection/overrides already applied.  The CLI ``lint --json``
+    document, the batch per-job ``lint`` section and the ``POST /lint``
+    response all embed exactly this dict, which is what makes the three
+    byte-comparable.  (Takes plain diagnostics rather than importing the lint
+    package: render is imported by the pipeline package the lint rules
+    ultimately depend on.)
+    """
+    summary = {"findings": len(findings), "errors": 0, "warnings": 0, "infos": 0}
+    for finding in findings:
+        summary[finding.severity + "s"] += 1
+    return {
+        "clean": not findings,
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": summary,
+    }
+
+
+def lint_json(
+    pipeline: PipelineResult,
+    findings: Sequence[Any],
+    file: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The machine-readable form of a ``lint`` run."""
+    document: Dict[str, Any] = {}
+    if file is not None:
+        document["file"] = file
+    document["design"] = pipeline.result.design.name
+    document.update(lint_section(findings))
+    document["timings"] = _round_timings(pipeline)
+    document["cached_stages"] = pipeline.cached_stages
+    return document
+
+
+def lint_document(
+    pipeline: PipelineResult,
+    findings: Sequence[Any],
+    file: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The complete ``lint --json`` document (CLI and server share it)."""
+    return stamped(
+        {
+            "command": "lint",
+            **lint_json(pipeline, findings, file=file),
+        }
+    )
+
+
+def render_lint_text(design_name: str, findings: Sequence[Any]) -> str:
+    """Exactly what ``vhdl-ifa lint`` prints for one design."""
+    lines = [f"Lint report for design {design_name!r}"]
+    if not findings:
+        lines.append("No findings.")
+    else:
+        lines.append(f"{len(findings)} finding(s):")
+        for finding in findings:
+            lines.append(f"  - {finding.severity}: {finding.describe()}")
+    return "\n".join(lines)
+
+
 def policy_summary(policy: Any) -> Dict[str, Any]:
     """The ``"policy"`` member of a ``check`` document.
 
@@ -224,7 +287,7 @@ def schema_v1() -> Dict[str, Any]:
     schema_field = {"const": SCHEMA_VERSION}
     diagnostic = {
         "type": "object",
-        "description": "one structured policy-check finding",
+        "description": "one structured finding (policy check or lint rule)",
         "required": [
             "code", "severity", "message", "source", "target",
             "source_level", "target_level", "path",
@@ -232,7 +295,8 @@ def schema_v1() -> Dict[str, Any]:
         "properties": {
             "code": {
                 "type": "string",
-                "description": "stable code: IFA001 direct flow, IFA002 path flow",
+                "description": "stable code: IFA001 direct flow, IFA002 path "
+                "flow, IFA1xx lint rules (catalog in docs/lint.md)",
                 "pattern": "^IFA[0-9]{3}$",
             },
             "severity": {"enum": ["error", "warning", "info"]},
@@ -266,6 +330,45 @@ def schema_v1() -> Dict[str, Any]:
                     },
                 },
             },
+            "lint": {
+                "type": "object",
+                "description": "lint rule selection and severity overrides",
+                "properties": {
+                    "enable": {"type": "array", "items": {"type": "string"}},
+                    "disable": {"type": "array", "items": {"type": "string"}},
+                    "severity": {
+                        "type": "object",
+                        "additionalProperties": {
+                            "enum": ["error", "warning", "info"],
+                        },
+                    },
+                },
+            },
+        },
+    }
+    lint_body = {
+        "clean": {"type": "boolean"},
+        "findings": {
+            "type": "array",
+            "items": {"$ref": "#/definitions/diagnostic"},
+        },
+        "summary": {
+            "type": "object",
+            "required": ["findings", "errors", "warnings", "infos"],
+            "additionalProperties": {"type": "integer"},
+        },
+    }
+    lint = {
+        "type": "object",
+        "required": ["schema", "command", "design", "clean", "findings", "summary"],
+        "properties": {
+            "schema": schema_field,
+            "command": {"const": "lint"},
+            "file": {"type": "string"},
+            "design": {"type": "string"},
+            **lint_body,
+            "timings": timings,
+            "cached_stages": cached_stages,
         },
     }
     analyze = {
@@ -351,6 +454,12 @@ def schema_v1() -> Dict[str, Any]:
                         "violations": {
                             "type": "array",
                             "items": {"$ref": "#/definitions/diagnostic"},
+                        },
+                        "lint": {
+                            "type": "object",
+                            "description": "per-file lint section (batch --lint)",
+                            "required": ["clean", "findings", "summary"],
+                            "properties": dict(lint_body),
                         },
                     },
                 },
@@ -518,6 +627,7 @@ def schema_v1() -> Dict[str, Any]:
         "documents": {
             "analyze": analyze,
             "check": check,
+            "lint": lint,
             "batch": batch,
             "stats": stats,
             "version": version_doc,

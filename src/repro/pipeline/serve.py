@@ -38,11 +38,11 @@ for all of the above is deterministic via :mod:`repro.pipeline.faults`
 
 Endpoints
 ---------
-``POST /analyze`` / ``POST /check`` / ``POST /policy``
-    As documented in ``docs/cli.md`` and ``docs/serve.md``; analyze/check
-    response bodies are byte-identical to ``vhdl-ifa analyze --json`` /
-    ``check --json`` in both execution modes (worker and inline paths share
-    :func:`execute_request` and the render builders).
+``POST /analyze`` / ``POST /check`` / ``POST /lint`` / ``POST /policy``
+    As documented in ``docs/cli.md`` and ``docs/serve.md``; analyze/check/
+    lint response bodies are byte-identical to ``vhdl-ifa analyze --json`` /
+    ``check --json`` / ``lint --json`` in both execution modes (worker and
+    inline paths share :func:`execute_request` and the render builders).
 ``GET /healthz``
     Liveness: ``200`` while serving, ``503`` while draining; worker counts.
 ``GET /metrics``
@@ -103,7 +103,7 @@ LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.
 _REQUEST_ERRORS = (ReproError, OSError, UnicodeDecodeError)
 
 #: The pooled analysis endpoints (path → request kind).
-_ANALYSIS_PATHS = {"/analyze": "analyze", "/check": "check"}
+_ANALYSIS_PATHS = {"/analyze": "analyze", "/check": "check", "/lint": "lint"}
 
 
 class _Histogram:
@@ -171,6 +171,11 @@ def execute_request(
                 self_loops=request.get("self_loops", False),
                 file=request.get("file"),
             )
+        if kind == "lint":
+            linted = workspace.lint(
+                request["source"], policy=request.get("policy"), **opts
+            )
+            return 200, linted.document(file=request.get("file"))
         checked = workspace.check(
             request["source"],
             request["policy"],
@@ -423,12 +428,13 @@ class AnalysisServer:
     ) -> Tuple[int, Dict[str, Any]]:
         """The synchronous (inline) routing path.
 
-        Pool mode intercepts ``POST /analyze|/check`` before this method;
-        everything else — and every request in inline mode — lands here.
+        Pool mode intercepts ``POST /analyze|/check|/lint`` before this
+        method; everything else — and every request in inline mode — lands
+        here.
         """
         route = f"{method} {path}"
         self.request_counts[route] = self.request_counts.get(route, 0) + 1
-        if path in ("/analyze", "/check", "/policy"):
+        if path in ("/analyze", "/check", "/lint", "/policy"):
             if method != "POST":
                 return 405, {"error": f"{path} expects POST, got {method}"}
             try:
@@ -500,6 +506,16 @@ class AnalysisServer:
         if kind == "analyze":
             request["collapse"] = bool(payload.get("collapse", False))
             request["self_loops"] = bool(payload.get("self_loops", False))
+            return request
+        if kind == "lint":
+            spec = payload.get("policy")
+            if spec is not None and not isinstance(spec, (str, dict)):
+                raise _BadRequest(
+                    "'policy' must be a registered policy name or a policy document"
+                )
+            # Resolved here (not in the worker) so unknown names reject on
+            # the event loop; the resolved policy is a picklable dataclass.
+            request["policy"] = None if spec is None else self.workspace.policy(spec)
             return request
         outputs = payload.get("output", [])
         if not isinstance(outputs, list):

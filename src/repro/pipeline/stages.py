@@ -14,6 +14,7 @@ local      the local Resource Matrix ``RM_lo`` (Table 6)
 specialize the specialised RD results ``RD†``/``RD†ϕ`` (Table 7)
 closure    the closed matrix ``RM_gl`` (Table 8, optionally Table 9)
 flow_graph the information-flow graph
+lint       the lint findings (``vhdl-ifa lint`` runs only; full catalog)
 report     the covert-channel report (only when a policy is given)
 ========== =====================================================
 
@@ -42,9 +43,15 @@ local      entity, loop_processes
 specialize entity, loop_processes, use_under_approximation
 closure    entity, loop_processes, use_under_approximation, improved
 flow_graph entity, loop_processes, use_under_approximation, improved
+lint       entity, loop_processes, use_under_approximation, improved
 kemmerer   entity, loop_processes
 report     never cached (cheap, policy-dependent)
 ========== ==========================================================
+
+The ``lint`` stage caches the *complete* rule catalog's findings at default
+severities (a plain tuple of diagnostics, not universe-bound); a policy
+file's ``[lint]`` selection and severity overrides are applied after the
+stage, so one cached artefact serves every lint configuration.
 
 Universe discipline: stages from ``local`` onward intern resource names into
 the run's :class:`~repro.dataflow.universe.FactUniverse`.  Their cached
@@ -105,6 +112,7 @@ class PipelineContext:
     graph: Optional[FlowGraph] = None
     kemmerer: Optional[Any] = None
     analysis: Optional[AnalysisResult] = None
+    lint: Optional[Any] = None
     policy: Optional[Any] = None
     report_options: Dict[str, Any] = field(default_factory=dict)
     report: Optional[Any] = None
@@ -159,6 +167,14 @@ def _run_kemmerer(ctx: PipelineContext) -> Any:
     return kemmerer_analysis(ctx.program_cfg, universe=ctx.universe)
 
 
+def _run_lint(ctx: PipelineContext) -> Any:
+    # Imported lazily: the lint package imports repro.security.report, which
+    # imports repro.analysis.api, which itself imports this package.
+    from repro.analysis.lint import run_lint_rules
+
+    return run_lint_rules(ctx.analysis)
+
+
 def _run_report(ctx: PipelineContext) -> Any:
     # Imported lazily: repro.security.report imports repro.analysis.api,
     # which itself imports this package.
@@ -199,6 +215,7 @@ LOCAL = Stage("local", "rm_local", _run_local, _SHAPE, universe_bound=True)
 SPECIALIZE = Stage("specialize", "specialized", _run_specialize, _RD, universe_bound=True)
 CLOSURE = Stage("closure", "closure", _run_closure, _ALL, universe_bound=True)
 FLOW_GRAPH = Stage("flow_graph", "graph", _run_flow_graph, _ALL, universe_bound=True)
+LINT = Stage("lint", "lint", _run_lint, _ALL)
 KEMMERER = Stage("kemmerer", "kemmerer", _run_kemmerer, _SHAPE, universe_bound=True)
 REPORT = Stage("report", "report", _run_report, cacheable=False)
 
@@ -215,6 +232,10 @@ ANALYSIS_STAGES: Tuple[Stage, ...] = (
     FLOW_GRAPH,
     REPORT,
 )
+
+#: The lint run: the full analysis plus the cached ``lint`` stage (and, when
+#: a policy with level assignments is given, the trailing report).
+LINT_STAGES: Tuple[Stage, ...] = ANALYSIS_STAGES[:-1] + (LINT, REPORT)
 
 #: Kemmerer's baseline shares the frontend stages.
 KEMMERER_STAGES: Tuple[Stage, ...] = (PARSE, ELABORATE, CFG, KEMMERER)
@@ -288,6 +309,29 @@ class Pipeline:
         ctx.design = design
         self._set_policy(ctx, policy, report_options)
         return self._execute(ctx, ANALYSIS_STAGES[2:], until)
+
+    def run_lint(
+        self,
+        source: str,
+        options: Optional[AnalysisOptions] = None,
+        *,
+        universe: Optional[FactUniverse] = None,
+        policy: Optional[Any] = None,
+        report_options: Optional[Dict[str, Any]] = None,
+    ) -> PipelineResult:
+        """Run the full analysis plus the cached ``lint`` stage.
+
+        The lint artefact (``run.artifacts.lint``) is the complete rule
+        catalog's finding tuple at default severities; rule selection and
+        severity overrides (a policy file's ``[lint]`` table) are applied by
+        the caller, outside the content-addressed stage.  ``policy`` behaves
+        as in :meth:`run` (it additionally enables the report stage).
+        """
+        ctx = self._context(options, universe)
+        ctx.source = source
+        ctx.source_key = source_digest(source)
+        self._set_policy(ctx, policy, report_options)
+        return self._execute(ctx, LINT_STAGES, None)
 
     def run_kemmerer(
         self,

@@ -23,6 +23,12 @@ top-level keys in :data:`POLICY_KEYS`:
 ``allow``
     Array of ``{from = LEVEL, to = LEVEL}`` pairs naming the permitted
     cross-level flows (same-level flows are always permitted).
+``lint``
+    Optional table configuring the lint rule catalog (``docs/lint.md``):
+    ``enable`` (allowlist of codes when non-empty), ``disable`` (always
+    wins), and ``severity`` (``code = "error"/"warning"/"info"``
+    overrides).  A document carrying only a ``lint`` table is a valid
+    *lint-only* policy: ``levels`` may then be omitted.
 
 Example (TOML)::
 
@@ -65,7 +71,10 @@ from repro.security.policy import Clearance, FlowPolicy
 
 #: The complete top-level key set of a policy document (gated against
 #: ``docs/api.md`` by ``scripts/check_docs.py``).
-POLICY_KEYS = ("name", "description", "mode", "default", "levels", "resources", "allow")
+POLICY_KEYS = (
+    "name", "description", "mode", "default", "levels", "resources", "allow",
+    "lint",
+)
 
 _MODES = ("channel-control", "transitive")
 
@@ -98,6 +107,9 @@ class DeclaredPolicy(FlowPolicy):
     patterns: List[Tuple[str, Clearance]] = field(default_factory=list)
     name: Optional[str] = None
     description: Optional[str] = None
+    lint: Optional[Any] = None
+    """The document's ``lint`` table as a
+    :class:`~repro.analysis.lint.LintConfig`, when one was declared."""
 
     def level_of(self, resource: str) -> Clearance:
         """The clearance of ``resource`` (``n◦``/``n•`` share ``n``'s level)."""
@@ -143,7 +155,25 @@ def policy_from_dict(data: Any, context: str = "policy") -> DeclaredPolicy:
         f"{context}: mode",
     )
 
+    raw_lint = data.get("lint")
+    lint_config = None
+    if raw_lint is not None:
+        _require(
+            isinstance(raw_lint, dict),
+            "'lint' must be a table (enable/disable/severity)",
+            f"{context}: lint",
+        )
+        # Imported lazily: the lint package sits on top of the pipeline,
+        # which this module must stay importable without.
+        from repro.analysis.lint import LintConfig
+
+        lint_config = LintConfig.from_dict(raw_lint, context=f"{context}: lint")
+
     raw_levels = data.get("levels")
+    if raw_levels is None and lint_config is not None:
+        # A lint-only policy: no flow levels declared.  Synthesise the one
+        # default level so the object still is a complete FlowPolicy.
+        raw_levels = {"default": 0}
     _require(
         isinstance(raw_levels, dict) and raw_levels,
         "'levels' must be a non-empty table of level name -> integer rank",
@@ -234,6 +264,7 @@ def policy_from_dict(data: Any, context: str = "policy") -> DeclaredPolicy:
         patterns=patterns,
         name=name,
         description=description,
+        lint=lint_config,
     )
 
 
@@ -284,6 +315,11 @@ def policy_to_dict(policy: FlowPolicy) -> Dict[str, Any]:
         {"from": source.name, "to": target.name}
         for source, target in sorted(policy.permitted)
     ]
+    lint_config = getattr(policy, "lint", None)
+    if lint_config is not None:
+        lint_table = lint_config.to_dict()
+        if lint_table:
+            document["lint"] = lint_table
     return document
 
 

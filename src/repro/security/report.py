@@ -23,9 +23,21 @@ from repro.analysis.resource_matrix import base_resource, incoming_node, outgoin
 from repro.errors import ReproError
 from repro.security.policy import FlowPolicy, PolicyViolation, check_policy
 
-#: Stable diagnostic codes; append-only across schema versions.
+#: Stable diagnostic codes; append-only across schema versions.  The lint
+#: catalog (``IFA101`` …) registers its codes in
+#: :mod:`repro.analysis.lint.registry` and shares this namespace.
 DIRECT_FLOW = "IFA001"
 PATH_FLOW = "IFA002"
+
+
+def diagnostic_sort_key(diagnostic: "Diagnostic") -> Tuple[str, str, str, Tuple[str, ...]]:
+    """The deterministic ordering of every diagnostic list the repo emits.
+
+    Sorting by ``(code, source, target, path)`` keeps CLI, batch and serve
+    bytes stable across runs, platforms and pool workers, whatever order the
+    underlying checker produced the findings in.
+    """
+    return (diagnostic.code, diagnostic.source, diagnostic.target, diagnostic.path)
 
 
 @dataclass(frozen=True)
@@ -99,8 +111,12 @@ class CovertChannelReport:
 
     @property
     def diagnostics(self) -> List[Diagnostic]:
-        """The violations as structured diagnostics, in report order."""
-        return [Diagnostic.from_violation(v) for v in self.violations]
+        """The violations as structured diagnostics, deterministically
+        ordered by :func:`diagnostic_sort_key`."""
+        return sorted(
+            (Diagnostic.from_violation(v) for v in self.violations),
+            key=diagnostic_sort_key,
+        )
 
     def to_text(self) -> str:
         """Render the report as plain text."""

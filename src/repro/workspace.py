@@ -12,11 +12,12 @@ state the toolchain has grown:
 * a registry of *named* policies, loadable from declarative TOML/JSON
   documents (:mod:`repro.security.policy_file`).
 
-The facade exposes four verbs::
+The facade exposes five verbs::
 
     ws = Workspace(cache_dir=".ifa-cache")
     result  = ws.analyze(source)                      # AnalysisResult
     checked = ws.check(source, policy="mls")          # CheckResult
+    linted  = ws.lint(source)                         # LintResult
     report  = ws.batch(["a.vhd", "b.vhd"])            # BatchReport
     ws.stats()                                        # session statistics
 
@@ -43,15 +44,17 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.analysis.lint import LintConfig, findings_fail
 from repro.dataflow.universe import FactUniverse
 from repro.errors import PolicyError
 from repro.pipeline.artifacts import AnalysisOptions, AnalysisResult, PipelineResult
 from repro.pipeline.batch import BatchJob, BatchReport, expand_jobs, run_batch
 from repro.pipeline.cache import open_cache
-from repro.pipeline.render import check_document
+from repro.pipeline.render import check_document, lint_document, render_lint_text
 from repro.pipeline.stages import Pipeline
 from repro.security.policy import FlowPolicy
 from repro.security.policy_file import load_policy_file, policy_from_dict
+from repro.security.report import Diagnostic
 
 #: Anything :meth:`Workspace.policy` resolves: a policy object, a registered
 #: name, a parsed policy document, or a path to a policy file.
@@ -104,6 +107,44 @@ class CheckResult:
     def document(self, file: Optional[str] = None) -> Dict[str, Any]:
         """The complete ``check`` JSON document (``vhdl-ifa/v1``)."""
         return check_document(self.run, self.policy, file=file)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one :meth:`Workspace.lint`.
+
+    ``findings`` already reflect the applied :class:`LintConfig` (rule
+    selection, severity overrides) and are deterministically ordered;
+    ``run.artifacts.lint`` keeps the cached full-catalog tuple.
+    """
+
+    run: PipelineResult
+    config: LintConfig
+    findings: List[Diagnostic]
+    fail_on: str = "error"
+
+    @property
+    def clean(self) -> bool:
+        """True when no finding survived the configuration."""
+        return not self.findings
+
+    @property
+    def result(self) -> AnalysisResult:
+        """The full analysis result the lint ran on."""
+        return self.run.result
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI convention: 0 clean, 3 when ``--fail-on`` is tripped."""
+        return 3 if findings_fail(self.findings, self.fail_on) else 0
+
+    def to_text(self) -> str:
+        """The human-readable report (what ``vhdl-ifa lint`` prints)."""
+        return render_lint_text(self.result.design.name, self.findings)
+
+    def document(self, file: Optional[str] = None) -> Dict[str, Any]:
+        """The complete ``lint`` JSON document (``vhdl-ifa/v1``)."""
+        return lint_document(self.run, self.findings, file=file)
 
 
 class Workspace:
@@ -290,6 +331,64 @@ class Workspace:
         )
         return CheckResult(run=run, policy=resolved, report=run.report)
 
+    # ----------------------------------------------------------------- lint
+
+    def lint(
+        self,
+        source: str,
+        policy: Optional[PolicySpec] = None,
+        *,
+        config: Optional[LintConfig] = None,
+        fail_on: str = "error",
+        entity: Optional[str] = None,
+        improved: bool = True,
+        loop_processes: bool = True,
+        use_under_approximation: bool = True,
+        pool_universe: bool = False,
+    ) -> LintResult:
+        """Run the lint rule catalog (``docs/lint.md``) over ``source``.
+
+        ``config`` selects rules and overrides severities explicitly; else a
+        ``policy`` (any :data:`PolicySpec`) supplies its ``[lint]`` table;
+        else the full catalog runs at default severities.  ``fail_on`` sets
+        the severity threshold behind :attr:`LintResult.exit_code`.
+        """
+        resolved_config = config
+        if resolved_config is None and policy is not None:
+            resolved_config = getattr(self.policy(policy), "lint", None)
+        if resolved_config is None:
+            resolved_config = LintConfig()
+        run = self.lint_run(
+            source,
+            entity=entity,
+            improved=improved,
+            loop_processes=loop_processes,
+            use_under_approximation=use_under_approximation,
+            pool_universe=pool_universe,
+        )
+        findings = resolved_config.apply(run.artifacts.lint)
+        return LintResult(
+            run=run, config=resolved_config, findings=findings, fail_on=fail_on
+        )
+
+    def lint_run(
+        self,
+        source: str,
+        *,
+        entity: Optional[str] = None,
+        improved: bool = True,
+        loop_processes: bool = True,
+        use_under_approximation: bool = True,
+        pool_universe: bool = False,
+    ) -> PipelineResult:
+        """As :meth:`lint`, returning the staged :class:`PipelineResult`
+        (``run.artifacts.lint`` holds the unfiltered full-catalog tuple)."""
+        return self.pipeline.run_lint(
+            source,
+            self._options(entity, improved, loop_processes, use_under_approximation),
+            universe=self.universe if pool_universe else None,
+        )
+
     # ---------------------------------------------------------------- batch
 
     def batch(
@@ -306,6 +405,8 @@ class Workspace:
         improved: bool = True,
         loop_processes: bool = True,
         use_under_approximation: bool = True,
+        lint: Union[bool, LintConfig, None] = None,
+        fail_on: str = "error",
     ) -> BatchReport:
         """Analyse many files (or :class:`BatchJob` items) in one run.
 
@@ -314,6 +415,10 @@ class Workspace:
         per-worker memory tier over this workspace's ``cache_dir`` disk
         store, so the pool shares the workspace's cache configuration.
         ``policy`` turns the batch into a policy check over every job.
+        ``lint=True`` (or a :class:`LintConfig`) adds a per-job lint section;
+        ``lint=None`` defers to the resolved policy's ``[lint]`` table (no
+        lint run when it has none); ``fail_on`` sets the severity threshold
+        behind :attr:`BatchReport.exit_code`.
         """
         expanded: List[BatchJob] = []
         for job in jobs:
@@ -324,6 +429,18 @@ class Workspace:
                     expand_jobs([job], all_entities=all_entities, cache=self.cache)
                 )
         resolved_policy = None if policy is None else self.policy(policy)
+        lint_config: Optional[LintConfig]
+        policy_lint = getattr(resolved_policy, "lint", None)
+        if isinstance(lint, LintConfig):
+            lint_config = lint
+        elif lint:
+            # Explicitly requested: the policy's table still configures it.
+            lint_config = policy_lint if policy_lint is not None else LintConfig()
+        elif lint is None:
+            # Unspecified: a policy declaring a [lint] table opts the run in.
+            lint_config = policy_lint
+        else:
+            lint_config = None
         return run_batch(
             expanded,
             AnalysisOptions(
@@ -338,6 +455,8 @@ class Workspace:
             max_workers=max_workers,
             cache=self.cache,
             policy=resolved_policy,
+            lint=lint_config,
+            fail_on=fail_on,
             **self.worker_configuration(),
         )
 

@@ -195,6 +195,7 @@ class TestEquivalenceWithInCodePolicy:
         # docs/api.md's key table is gated against this tuple.
         assert POLICY_KEYS == (
             "name", "description", "mode", "default", "levels", "resources", "allow",
+            "lint",
         )
 
 
