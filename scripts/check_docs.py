@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency gate (no dependencies beyond the stdlib).
 
-Checks five things, and exits non-zero listing every failure:
+Checks six things, and exits non-zero listing every failure:
 
 1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
    every relative link target (minus any ``#anchor``) names an existing
@@ -18,6 +18,10 @@ Checks five things, and exits non-zero listing every failure:
 5. ``docs/lint.md`` catalogues every lint rule code registered in
    ``src/repro/analysis/lint/rules.py`` — a rule without a catalog entry
    (or a catalog entry for a removed rule) fails the gate.
+6. ``docs/performance.md`` mentions every benchmark phase defined in
+   ``benchmarks/bench_scaling.py`` — a phase the performance guide does
+   not place in its methodology fails the gate, as does a documented
+   phase the benchmark module no longer defines.
 
 Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
 CI runs it as the ``docs`` job.
@@ -189,6 +193,38 @@ def check_lint_catalog() -> list[str]:
     return failures
 
 
+#: def test_cold_parse(...) — a benchmark phase in bench_scaling.py.
+_BENCH_PHASE = re.compile(r"^def (test_[a-z0-9_]+)", re.MULTILINE)
+
+
+def check_performance_doc() -> list[str]:
+    """``docs/performance.md`` must place every benchmark phase."""
+    guide = REPO_ROOT / "docs" / "performance.md"
+    bench = REPO_ROOT / "benchmarks" / "bench_scaling.py"
+    if not guide.exists():
+        return ["docs/performance.md: the performance guide is missing"]
+    defined = set(_BENCH_PHASE.findall(bench.read_text(encoding="utf-8")))
+    if not defined:
+        return [
+            f"{bench.relative_to(REPO_ROOT)}: found no test_* benchmark "
+            "phase definitions"
+        ]
+    text = guide.read_text(encoding="utf-8")
+    mentioned = set(re.findall(r"`(test_[a-z0-9_]+)`", text))
+    failures = []
+    for phase in sorted(defined - mentioned):
+        failures.append(
+            f"benchmark phase {phase!r} is defined in bench_scaling.py but "
+            "docs/performance.md does not mention it"
+        )
+    for phase in sorted(mentioned - defined):
+        failures.append(
+            f"docs/performance.md mentions benchmark phase {phase!r} but "
+            "bench_scaling.py does not define it"
+        )
+    return failures
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md"]
     docs_dir = REPO_ROOT / "docs"
@@ -198,6 +234,7 @@ def main() -> int:
     failures.extend(check_policy_keys())
     failures.extend(check_serve_flags())
     failures.extend(check_lint_catalog())
+    failures.extend(check_performance_doc())
     for failure in failures:
         print(f"docs check: {failure}", file=sys.stderr)
     if failures:
@@ -207,7 +244,7 @@ def main() -> int:
         f"docs check: {len(documents)} documents OK "
         "(links resolve, CLI reference matches cli.py, policy keys match "
         "policy_file.py, serve flags documented in serve.md, lint catalog "
-        "matches rules.py)"
+        "matches rules.py, performance guide covers bench_scaling.py)"
     )
     return 0
 

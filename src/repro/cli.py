@@ -132,10 +132,48 @@ def _policy_for(args: argparse.Namespace, workspace: Workspace):
     return TwoLevelPolicy(secret_resources=args.secret)
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
-    run = _workspace(args).analyze_run(
-        _read_source(args.file), **_analysis_opts(args)
+def _profile_document(args: argparse.Namespace, run) -> dict:
+    """The ``--profile-json`` sidecar: per-stage timings and hot spots."""
+    return stamped(
+        {
+            "kind": "profile",
+            "file": args.file,
+            "timings": {
+                name: round(seconds, 6) for name, seconds in run.timings.items()
+            },
+            "cached_stages": run.cached_stages,
+            "stages": {
+                name: list(entries)
+                for name, entries in run.stage_profiles.items()
+            },
+        }
     )
+
+
+def _emit_profile(args: argparse.Namespace, run) -> None:
+    """Print per-stage cProfile hot spots to stderr / the JSON sidecar."""
+    if args.profile:
+        for name, entries in run.stage_profiles.items():
+            print(f"[profile] stage {name}", file=sys.stderr)
+            for entry in entries:
+                print(
+                    f"[profile]   {entry['tottime']:9.6f}s "
+                    f"{entry['calls']:>8} calls  {entry['function']}",
+                    file=sys.stderr,
+                )
+    if args.profile_json:
+        Path(args.profile_json).write_text(
+            json_text(_profile_document(args, run)) + "\n", encoding="utf-8"
+        )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    profiling = bool(args.profile or args.profile_json)
+    run = _workspace(args).analyze_run(
+        _read_source(args.file), profile=profiling, **_analysis_opts(args)
+    )
+    if profiling:
+        _emit_profile(args, run)
     if args.json:
         _print_json(
             analyze_document(
@@ -400,6 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit a machine-readable summary (adjacency, stage timings)",
+    )
+    analyze_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run stages under cProfile and print per-stage hot spots to stderr",
+    )
+    analyze_p.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="write the per-stage profile as a JSON sidecar document to PATH",
     )
     _add_cache_flags(analyze_p)
     analyze_p.set_defaults(handler=_cmd_analyze)

@@ -1,0 +1,129 @@
+"""Pluggable bitset backends for the closure / flow-graph hot paths.
+
+Name-sets everywhere in the analysis are Python ints used as bitsets (see
+:mod:`repro.dataflow.universe`).  CPython's arbitrary-precision ints make
+``|``/``&`` on them a single C loop, which is hard to beat — but at the
+32×128-chain scale the bitsets grow to thousands of bits, and a word-packed
+representation (one ``uint64`` numpy row per set) can OR in place without
+allocating a fresh big-int per operation.  Which representation wins is an
+empirical question per phase, so this module keeps **both**:
+
+* ``"int"`` — the plain Python-int bitset paths (always available);
+* ``"words"`` — numpy ``<u8`` word arrays, used by the word paths in
+  :func:`repro.analysis.closure.propagate` and
+  :meth:`repro.analysis.flowgraph.FlowGraph.from_resource_matrix`.
+
+:data:`DEFAULT_SELECTION` records the winner per phase as measured by
+``benchmarks/bench_scaling.py`` (the ``closure_backend`` phases) on the
+32×128 chain workload; see docs/performance.md for the numbers.  The
+selection is part of the artifact cache key for the ``closure`` and
+``flow_graph`` stages (:func:`repro.pipeline.stages.stage_key`), so cached
+artifacts can never leak across backends — and the test suite asserts the
+rendered analyze/check/lint JSON is byte-identical across both anyway.
+
+Override order for :func:`backend_for`: an active :func:`force_backend`
+context beats the ``VHDL_IFA_BITSET_BACKEND`` environment variable, which
+beats :data:`DEFAULT_SELECTION`.  Unknown names and a missing numpy both
+fall back to ``"int"`` — the module never raises over configuration, so the
+analysis runs identically (if more slowly) on a numpy-less interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+try:  # pragma: no cover - exercised implicitly by backend_for()
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None  # type: ignore[assignment]
+
+#: Backend names.
+INT = "int"
+WORDS = "words"
+
+#: True when the word-packed backend can actually run.
+HAVE_WORD_BACKEND = _np is not None
+
+#: Environment override: ``VHDL_IFA_BITSET_BACKEND=int|words``.
+ENV_VAR = "VHDL_IFA_BITSET_BACKEND"
+
+#: The benchmarked winner per phase (``benchmarks/bench_scaling.py``,
+#: ``closure_backend[...]`` / ``flow_graph_backend[...]`` on 32×128 chains).
+#: Python ints win both phases on CPython 3.11: one big-int OR is a single
+#: allocation-plus-C-loop, while the numpy path pays per-call dispatch on
+#: rows of only a few hundred words.  The word backend stays selectable (and
+#: continuously cross-checked) for wider universes and other interpreters.
+DEFAULT_SELECTION: Dict[str, str] = {
+    "closure": INT,
+    "flow_graph": INT,
+}
+
+_FORCED: Optional[str] = None
+
+
+def _normalize(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    name = name.strip().lower()
+    if name not in (INT, WORDS):
+        return None
+    if name == WORDS and not HAVE_WORD_BACKEND:
+        return INT
+    return name
+
+
+def backend_for(phase: str) -> str:
+    """The backend to use for ``phase`` (``"closure"``/``"flow_graph"``).
+
+    Resolution order: :func:`force_backend` context, then the
+    ``VHDL_IFA_BITSET_BACKEND`` environment variable, then
+    :data:`DEFAULT_SELECTION`; anything unknown or unavailable degrades to
+    ``"int"``.
+    """
+    forced = _normalize(_FORCED)
+    if forced is not None:
+        return forced
+    env = _normalize(os.environ.get(ENV_VAR))
+    if env is not None:
+        return env
+    return _normalize(DEFAULT_SELECTION.get(phase)) or INT
+
+
+@contextmanager
+def force_backend(name: str) -> Iterator[None]:
+    """Force every phase onto backend ``name`` for the duration of the block.
+
+    Used by the byte-identity tests and the per-backend benchmark phases.
+    Nesting restores the previous forcing on exit.
+    """
+    global _FORCED
+    previous = _FORCED
+    _FORCED = name
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+# ---------------------------------------------------------------------------
+# Word packing
+# ---------------------------------------------------------------------------
+
+
+def words_for(bit_length: int) -> int:
+    """How many 64-bit words hold ``bit_length`` bits (at least one)."""
+    return (bit_length + 63) // 64 if bit_length > 0 else 1
+
+
+def pack(value: int, words: int):
+    """Pack a non-negative int bitset into a fresh ``<u8`` word array."""
+    return _np.frombuffer(
+        value.to_bytes(words * 8, "little"), dtype="<u8"
+    ).copy()
+
+
+def unpack(row) -> int:
+    """Unpack a ``<u8`` word array back into a Python int bitset."""
+    return int.from_bytes(row.tobytes(), "little")

@@ -14,7 +14,7 @@ caching tests and the ``--json`` documents rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.flowgraph import FlowGraph
 from repro.analysis.kemmerer import KemmererResult
@@ -85,11 +85,19 @@ class AnalysisResult:
 
 @dataclass(frozen=True)
 class StageTiming:
-    """Wall-clock record of one executed (or cache-served) pipeline stage."""
+    """Wall-clock record of one executed (or cache-served) pipeline stage.
+
+    ``profile`` is only populated by profiled runs (``Pipeline.run(...,
+    profile=True)``): the stage's cProfile hot spots as a tuple of plain
+    dicts (``function``, ``calls``, ``tottime``, ``cumtime``), ordered by
+    internal time — already JSON-shaped for the ``--profile-json`` sidecar.
+    Cache-served stages carry no profile (there is nothing to profile).
+    """
 
     name: str
     seconds: float
     cached: bool = False
+    profile: Optional[Tuple[Dict[str, Any], ...]] = None
 
 
 @dataclass
@@ -129,3 +137,13 @@ class PipelineResult:
     def total_seconds(self) -> float:
         """Total wall-clock time across all stages."""
         return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def stage_profiles(self) -> Dict[str, Tuple[Dict[str, Any], ...]]:
+        """Stage name → cProfile hot spots (profiled runs only; see
+        :attr:`StageTiming.profile`)."""
+        return {
+            stage.name: stage.profile
+            for stage in self.stages
+            if stage.profile is not None
+        }

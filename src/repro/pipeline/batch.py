@@ -414,7 +414,10 @@ def run_batch(
     there, and ``no_cache=True`` gives the workers no cache at all).
     ``parallel=False`` runs in-process, threading ``cache`` through every
     job — run two batches over the same cache and the second one is served
-    from warm artifacts.  ``policy`` turns every job into a policy check
+    from warm artifacts.  When no ``cache`` is supplied (and ``no_cache`` is
+    off) the run opens its own via :func:`~repro.pipeline.cache.open_cache`,
+    so entity jobs over the same file share one parse artifact even on a
+    cold one-shot batch.  ``policy`` turns every job into a policy check
     (see :func:`run_job`); the policy must be picklable for parallel runs.
     ``lint`` (a picklable :class:`~repro.analysis.lint.LintConfig`) adds the
     per-job lint section; ``fail_on`` sets the severity threshold behind
@@ -459,6 +462,13 @@ def run_batch(
         report.items = results
     else:
         report.workers = 1
+        if cache is None and not no_cache:
+            # Even a one-shot sequential batch wants an in-run cache: with
+            # ``all_entities`` every entity job re-reads the same file, and
+            # the source-keyed parse tier means one parse serves all of
+            # them.  Without this a cold 8-entity batch tokenises and parses
+            # the identical source eight times over.
+            cache = open_cache(cache_dir)
         pipeline = Pipeline(cache)
         report.items = [
             run_job(

@@ -77,6 +77,7 @@ from repro.analysis.reaching_active import analyze_all_active_signals
 from repro.analysis.reaching_defs import analyze_reaching_definitions
 from repro.analysis.specialize import specialize
 from repro.cfg.builder import build_cfg
+from repro.dataflow import bitset
 from repro.dataflow.universe import FactUniverse
 from repro.errors import AnalysisError
 from repro.pipeline.artifacts import (
@@ -243,12 +244,30 @@ KEMMERER_STAGES: Tuple[Stage, ...] = (PARSE, ELABORATE, CFG, KEMMERER)
 STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in ANALYSIS_STAGES)
 
 
+#: Stages whose artefacts are produced by a selectable bitset backend
+#: (:mod:`repro.dataflow.bitset`); the active backend is part of their cache
+#: key so artefacts can never be served across a backend switch.  The
+#: backends are cross-checked byte-identical, so this is defence in depth
+#: for the content-address contract, not a correctness requirement.
+_BACKEND_KEYED = frozenset({"closure", "flow_graph"})
+
+
 def stage_key(stage: Stage, source_key: str, options: AnalysisOptions) -> str:
-    """The content address of one stage artefact."""
+    """The content address of one stage artefact.
+
+    A stage with no ``option_fields`` keys on its name and the source hash
+    alone — the ``parse`` artefact is deliberately option- *and*
+    entity-independent (``parse:<sha256>``), so one parse serves every
+    entity/option configuration of a file; the batch driver and the serve
+    pool rely on this to share parses across jobs on the same source.
+    """
     parts = [stage.name, source_key]
-    parts.extend(
-        f"{name}={getattr(options, name)!r}" for name in stage.option_fields
-    )
+    if stage.option_fields:
+        parts.extend(
+            f"{name}={getattr(options, name)!r}" for name in stage.option_fields
+        )
+    if stage.name in _BACKEND_KEYED:
+        parts.append(f"backend={bitset.backend_for(stage.name)}")
     return ":".join(parts)
 
 
@@ -261,6 +280,9 @@ class Pipeline:
     thin :func:`repro.analysis.api.analyze` wrappers do, preserving their
     one-universe-per-call semantics).
     """
+
+    #: How many hot spots a profiled stage keeps (by internal time).
+    PROFILE_TOP_N = 15
 
     def __init__(self, cache: Optional[ArtifactCache] = None):
         self.cache = cache
@@ -276,19 +298,23 @@ class Pipeline:
         until: Optional[str] = None,
         policy: Optional[Any] = None,
         report_options: Optional[Dict[str, Any]] = None,
+        profile: bool = False,
     ) -> PipelineResult:
         """Analyse VHDL1 source text, stage by stage.
 
         ``until`` names the last stage to run (``"cfg"`` stops after the CFG
         is built).  ``policy`` enables the final ``report`` stage;
         ``report_options`` passes keyword arguments through to
-        :func:`repro.security.report.build_report`.
+        :func:`repro.security.report.build_report`.  ``profile=True`` runs
+        every computed stage under cProfile and attaches the per-stage hot
+        spots to the result (:attr:`PipelineResult.stage_profiles`); the
+        reported wall-clock timings then include profiler overhead.
         """
         ctx = self._context(options, universe)
         ctx.source = source
         ctx.source_key = source_digest(source)
         self._set_policy(ctx, policy, report_options)
-        return self._execute(ctx, ANALYSIS_STAGES, until)
+        return self._execute(ctx, ANALYSIS_STAGES, until, profile=profile)
 
     def run_design(
         self,
@@ -318,6 +344,7 @@ class Pipeline:
         universe: Optional[FactUniverse] = None,
         policy: Optional[Any] = None,
         report_options: Optional[Dict[str, Any]] = None,
+        profile: bool = False,
     ) -> PipelineResult:
         """Run the full analysis plus the cached ``lint`` stage.
 
@@ -325,13 +352,14 @@ class Pipeline:
         catalog's finding tuple at default severities; rule selection and
         severity overrides (a policy file's ``[lint]`` table) are applied by
         the caller, outside the content-addressed stage.  ``policy`` behaves
-        as in :meth:`run` (it additionally enables the report stage).
+        as in :meth:`run` (it additionally enables the report stage);
+        ``profile`` as in :meth:`run`.
         """
         ctx = self._context(options, universe)
         ctx.source = source
         ctx.source_key = source_digest(source)
         self._set_policy(ctx, policy, report_options)
-        return self._execute(ctx, LINT_STAGES, None)
+        return self._execute(ctx, LINT_STAGES, None, profile=profile)
 
     def run_kemmerer(
         self,
@@ -384,6 +412,7 @@ class Pipeline:
         ctx: PipelineContext,
         stages: Sequence[Stage],
         until: Optional[str],
+        profile: bool = False,
     ) -> PipelineResult:
         plan = list(stages)
         if until is not None:
@@ -398,7 +427,7 @@ class Pipeline:
             plan = plan[:-1]
 
         for stage in plan:
-            self._run_stage(ctx, stage)
+            self._run_stage(ctx, stage, profile=profile)
             if stage is FLOW_GRAPH:
                 ctx.analysis = self._assemble(ctx)
 
@@ -411,7 +440,9 @@ class Pipeline:
             artifacts=ctx,
         )
 
-    def _run_stage(self, ctx: PipelineContext, stage: Stage) -> None:
+    def _run_stage(
+        self, ctx: PipelineContext, stage: Stage, profile: bool = False
+    ) -> None:
         key = None
         if (
             self.cache is not None
@@ -447,8 +478,12 @@ class Pipeline:
                 )
                 return
 
+        stage_profile = None
         started = time.perf_counter()
-        artifact = stage.run(ctx)
+        if profile:
+            artifact, stage_profile = self._run_profiled(ctx, stage)
+        else:
+            artifact = stage.run(ctx)
         elapsed = time.perf_counter() - started
         setattr(ctx, stage.attr, artifact)
         if stage.universe_bound:
@@ -456,7 +491,40 @@ class Pipeline:
         if key is not None:
             value = (artifact, ctx.universe) if stage.universe_bound else artifact
             self.cache.put(key, value)
-        ctx.stages.append(StageTiming(stage.name, elapsed, cached=False))
+        ctx.stages.append(
+            StageTiming(stage.name, elapsed, cached=False, profile=stage_profile)
+        )
+
+    @classmethod
+    def _run_profiled(
+        cls, ctx: PipelineContext, stage: Stage
+    ) -> Tuple[Any, Tuple[Dict[str, Any], ...]]:
+        """Run one stage under cProfile; return (artifact, top-N hot spots)."""
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            artifact = stage.run(ctx)
+        finally:
+            profiler.disable()
+        stats = pstats.Stats(profiler)
+        entries = []
+        for func, (_, ncalls, tottime, cumtime, _) in stats.stats.items():
+            filename, lineno, name = func
+            if name == "<built-in method builtins.exec>":
+                continue
+            entries.append(
+                {
+                    "function": f"{filename}:{lineno}({name})",
+                    "calls": ncalls,
+                    "tottime": round(tottime, 6),
+                    "cumtime": round(cumtime, 6),
+                }
+            )
+        entries.sort(key=lambda item: item["tottime"], reverse=True)
+        return artifact, tuple(entries[: cls.PROFILE_TOP_N])
 
     @staticmethod
     def _assemble(ctx: PipelineContext) -> AnalysisResult:

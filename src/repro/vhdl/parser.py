@@ -51,12 +51,21 @@ class Parser:
 
     def __init__(self, tokens: List[Token]):
         self._tokens = tokens
+        self._last = len(tokens) - 1
         self._index = 0
 
     # ------------------------------------------------------------------ utils
+    #
+    # The lookahead helpers are the parser's hottest code: they index the
+    # token list directly (the list always ends with EOF and ``_advance``
+    # never moves past it, so ``self._index`` is always in range) and compare
+    # keyword texts with ``==`` — the lexer normalises keyword tokens to
+    # lower case, so no per-call ``str.lower()`` is needed.
 
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._index + offset, len(self._tokens) - 1)
+        index = self._index + offset
+        if index > self._last:
+            index = self._last
         return self._tokens[index]
 
     def _advance(self) -> Token:
@@ -66,10 +75,11 @@ class Parser:
         return token
 
     def _check(self, kind: TokenKind) -> bool:
-        return self._peek().kind is kind
+        return self._tokens[self._index].kind is kind
 
     def _check_keyword(self, word: str) -> bool:
-        return self._peek().is_keyword(word)
+        token = self._tokens[self._index]
+        return token.kind is TokenKind.KEYWORD and token.text == word
 
     def _match(self, kind: TokenKind) -> Optional[Token]:
         if self._check(kind):
@@ -356,9 +366,14 @@ class Parser:
 
     def _parse_statement_list(self, terminators: Tuple[str, ...]) -> List[ast.Statement]:
         statements: List[ast.Statement] = []
-        while not self._at_end() and not any(
-            self._check_keyword(word) for word in terminators
-        ):
+        tokens = self._tokens
+        keyword = TokenKind.KEYWORD
+        eof = TokenKind.EOF
+        while True:
+            token = tokens[self._index]
+            kind = token.kind
+            if kind is eof or (kind is keyword and token.text in terminators):
+                break
             statements.append(self._parse_statement())
         return statements
 
@@ -540,11 +555,17 @@ class Parser:
     def _parse_expression(self) -> ast.Expression:
         return self._parse_logical()
 
-    _LOGICAL_OPS = ("and", "or", "xor", "nand", "nor", "xnor")
+    _LOGICAL_OPS = frozenset({"and", "or", "xor", "nand", "nor", "xnor"})
 
     def _parse_logical(self) -> ast.Expression:
         left = self._parse_relational()
-        while any(self._check_keyword(op) for op in self._LOGICAL_OPS):
+        tokens = self._tokens
+        keyword = TokenKind.KEYWORD
+        logical_ops = self._LOGICAL_OPS
+        while True:
+            token = tokens[self._index]
+            if token.kind is not keyword or token.text not in logical_ops:
+                break
             op_token = self._advance()
             right = self._parse_relational()
             left = ast.BinaryOp(
@@ -566,7 +587,7 @@ class Parser:
 
     def _parse_relational(self) -> ast.Expression:
         left = self._parse_adding()
-        kind = self._peek().kind
+        kind = self._tokens[self._index].kind
         if kind in self._RELATIONAL_KINDS:
             op_token = self._advance()
             right = self._parse_adding()
@@ -586,7 +607,7 @@ class Parser:
 
     def _parse_adding(self) -> ast.Expression:
         left = self._parse_multiplying()
-        while self._peek().kind in self._ADDING_KINDS:
+        while self._tokens[self._index].kind in self._ADDING_KINDS:
             op_token = self._advance()
             right = self._parse_multiplying()
             left = ast.BinaryOp(
@@ -601,7 +622,7 @@ class Parser:
 
     def _parse_multiplying(self) -> ast.Expression:
         left = self._parse_unary()
-        while self._peek().kind in self._MULTIPLYING_KINDS:
+        while self._tokens[self._index].kind in self._MULTIPLYING_KINDS:
             op_token = self._advance()
             right = self._parse_unary()
             left = ast.BinaryOp(

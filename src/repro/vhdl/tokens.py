@@ -84,7 +84,7 @@ KEYWORDS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """A single lexical token with its source position."""
 

@@ -269,14 +269,43 @@ class Workspace:
         use_under_approximation: bool = True,
         until: Optional[str] = None,
         pool_universe: bool = False,
+        profile: bool = False,
     ) -> PipelineResult:
-        """As :meth:`analyze`, returning the staged :class:`PipelineResult`."""
+        """As :meth:`analyze`, returning the staged :class:`PipelineResult`.
+
+        ``profile=True`` runs every computed stage under cProfile; the
+        per-stage hot spots are on ``PipelineResult.stage_profiles`` (this
+        is what ``vhdl-ifa analyze --profile`` prints).
+        """
         return self.pipeline.run(
             source,
             self._options(entity, improved, loop_processes, use_under_approximation),
             universe=self.universe if pool_universe else None,
             until=until,
+            profile=profile,
         )
+
+    def analyze_corpus(
+        self,
+        sources: Iterable[str],
+        **opts: Any,
+    ) -> List[PipelineResult]:
+        """Analyse a corpus of sources into one pooled name universe.
+
+        Every run pins the workspace's shared :class:`FactUniverse`
+        (``pool_universe=True``), so bitset-encoded artefacts from different
+        sources stay directly comparable — the batched form of per-call
+        universe pooling.  Accepts the keyword options of
+        :meth:`analyze_run` (``pool_universe`` is implied) and returns the
+        per-source results in input order.  Parse artefacts are still shared
+        through the workspace cache (they are not universe-bound), so a
+        corpus that repeats a file parses it once.
+        """
+        opts.pop("pool_universe", None)
+        return [
+            self.analyze_run(source, pool_universe=True, **opts)
+            for source in sources
+        ]
 
     def kemmerer_run(
         self,

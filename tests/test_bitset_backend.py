@@ -9,6 +9,7 @@ programs, the AES rounds and randomized synthetic programs, plus unit-level
 properties of the :class:`FactUniverse` interner and the dotted intersection.
 """
 
+import json
 import random
 
 import pytest
@@ -23,6 +24,7 @@ from repro.analysis.api import analyze
 from repro.analysis.closure import propagate, propagate_naive
 from repro.analysis.flowgraph import FlowGraph, resource_matrix_edges
 from repro.analysis.resource_matrix import Access, Entry, ResourceMatrix
+from repro.dataflow import bitset
 from repro.dataflow.framework import DataflowInstance, JoinMode
 from repro.dataflow.universe import FactUniverse, bit_indices
 from repro.dataflow.worklist import solve, solve_sets
@@ -304,6 +306,143 @@ class TestFlowGraphOracle:
             assert graph.successors(node) == oracle.successors(node)
             assert graph.predecessors(node) == oracle.predecessors(node)
             assert graph.reachable_from(node) == oracle.reachable_from(node)
+
+
+class TestWordBackend:
+    """The word-packed (numpy) backend vs. the Python-int backend.
+
+    Both are production backends behind :mod:`repro.dataflow.bitset`;
+    whichever :data:`~repro.dataflow.bitset.DEFAULT_SELECTION` picks, the
+    other must stay byte-for-byte equivalent — asserted here on the raw
+    sweep results, on the rendered documents of all eight paper workloads,
+    and on the pack/unpack round-trip itself.
+    """
+
+    def _closure_problem(self, source, **kwargs):
+        result = analyze(source, **kwargs)
+        copy_edges = closure_mod.merge_edges(
+            closure_mod.present_value_edges(result.specialized),
+            closure_mod.synchronized_value_edges(
+                result.program_cfg, result.specialized
+            ),
+        )
+        return result, copy_edges
+
+    def test_pack_unpack_round_trip(self):
+        if not bitset.HAVE_WORD_BACKEND:
+            pytest.skip("numpy not available")
+        rng = random.Random(11)
+        for _ in range(50):
+            value = rng.getrandbits(rng.randint(0, 700))
+            words = bitset.words_for(max(value.bit_length(), 1))
+            assert bitset.unpack(bitset.pack(value, words)) == value
+
+    def test_words_for_boundaries(self):
+        assert bitset.words_for(0) == 1
+        assert bitset.words_for(1) == 1
+        assert bitset.words_for(64) == 1
+        assert bitset.words_for(65) == 2
+        assert bitset.words_for(640) == 10
+
+    def test_backend_resolution_order(self, monkeypatch):
+        monkeypatch.delenv(bitset.ENV_VAR, raising=False)
+        assert bitset.backend_for("closure") in (bitset.INT, bitset.WORDS)
+        monkeypatch.setenv(bitset.ENV_VAR, "words")
+        expected = bitset.WORDS if bitset.HAVE_WORD_BACKEND else bitset.INT
+        assert bitset.backend_for("closure") == expected
+        monkeypatch.setenv(bitset.ENV_VAR, "nonsense")
+        assert bitset.backend_for("closure") == bitset.backend_for("closure")
+        with bitset.force_backend(bitset.INT):
+            assert bitset.backend_for("closure") == bitset.INT
+            assert bitset.backend_for("flow_graph") == bitset.INT
+        monkeypatch.delenv(bitset.ENV_VAR, raising=False)
+        assert bitset.backend_for("unknown-phase") == bitset.INT
+
+    @pytest.mark.parametrize("source,kwargs", WORKLOADS)
+    def test_propagate_backends_agree(self, source, kwargs):
+        if not bitset.HAVE_WORD_BACKEND:
+            pytest.skip("numpy not available")
+        result, copy_edges = self._closure_problem(source, improved=False, **kwargs)
+        via_int = propagate(result.rm_local, copy_edges, backend=bitset.INT)
+        via_words = propagate(result.rm_local, copy_edges, backend=bitset.WORDS)
+        assert via_int == via_words
+        assert via_int == propagate_naive(result.rm_local, copy_edges)
+
+    @pytest.mark.parametrize("source,kwargs", WORKLOADS)
+    def test_flow_graph_backends_agree(self, source, kwargs):
+        if not bitset.HAVE_WORD_BACKEND:
+            pytest.skip("numpy not available")
+        result = analyze(source, improved=True, **kwargs)
+        via_int = FlowGraph.from_resource_matrix(
+            result.rm_global, backend=bitset.INT
+        )
+        via_words = FlowGraph.from_resource_matrix(
+            result.rm_global, backend=bitset.WORDS
+        )
+        assert via_int.nodes == via_words.nodes
+        assert via_int.edges == via_words.edges
+        assert via_int.to_adjacency() == via_words.to_adjacency()
+        assert via_int.to_dot() == via_words.to_dot()
+
+
+class TestBackendByteIdenticalDocuments:
+    """analyze/check/lint JSON must be byte-identical across both backends.
+
+    The ``timings`` block is wall-clock and differs even between two runs
+    of the *same* backend, so it is stripped before the byte comparison;
+    everything else — graphs, matrices, reports, findings — must match
+    exactly over all eight paper workloads.
+    """
+
+    @staticmethod
+    def _without_timings(text: str) -> str:
+        data = json.loads(text)
+        data.pop("timings", None)
+        return json.dumps(data, sort_keys=True)
+
+    def _documents(self, source):
+        from repro.pipeline.render import (
+            analyze_document,
+            check_document,
+            json_text,
+            lint_document,
+        )
+        from repro.pipeline.stages import Pipeline
+        from repro.security.policy import TwoLevelPolicy
+
+        pipeline = Pipeline()
+        run = pipeline.run(source)
+        analyze_text = json_text(analyze_document(run, file="w.vhd"))
+
+        policy = TwoLevelPolicy(secret_resources=[])
+        checked = pipeline.run(
+            source, policy=policy, report_options={"transitive": True}
+        )
+        check_text = json_text(
+            check_document(checked, policy=policy, file="w.vhd")
+        )
+
+        linted = pipeline.run_lint(source)
+        lint_text = json_text(
+            lint_document(linted, findings=linted.artifacts.lint, file="w.vhd")
+        )
+        return analyze_text, check_text, lint_text
+
+    @pytest.mark.parametrize(
+        "name,source",
+        [pytest.param(n, s, id=n) for n, s in workloads.batch_workload_sources()],
+    )
+    def test_documents_identical_across_backends(self, name, source):
+        if not bitset.HAVE_WORD_BACKEND:
+            pytest.skip("numpy not available")
+        with bitset.force_backend(bitset.INT):
+            via_int = self._documents(source)
+        with bitset.force_backend(bitset.WORDS):
+            via_words = self._documents(source)
+        for int_text, words_text in zip(via_int, via_words):
+            assert self._without_timings(int_text) == self._without_timings(
+                words_text
+            )
 
 
 class TestPerSessionUniverse:

@@ -112,6 +112,41 @@ class TestArtifactCache:
         other = pipeline.run(workloads.challenge_f_program())
         assert not other.cached_stages
 
+    def test_parse_artifact_shared_across_differing_option_runs(self):
+        # The parse stage has no option_fields: its key is option- and
+        # entity-independent, so two runs with entirely different options
+        # share one cached parse artifact.
+        from repro.pipeline.stages import PARSE, stage_key
+
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache)
+        source = workloads.producer_consumer_program()
+        digest = source_digest(source)
+
+        first = pipeline.run(source, AnalysisOptions(improved=False))
+        second = pipeline.run(
+            source,
+            AnalysisOptions(
+                improved=True,
+                loop_processes=False,
+                use_under_approximation=False,
+            ),
+        )
+        assert "parse" not in first.cached_stages
+        assert "parse" in second.cached_stages
+
+        # Both option contexts address the very same cache entry ...
+        key_first = stage_key(PARSE, digest, AnalysisOptions(improved=False))
+        key_second = stage_key(
+            PARSE, digest, AnalysisOptions(loop_processes=False)
+        )
+        assert key_first == key_second == f"parse:{digest}"
+        assert key_first in cache
+        # ... and only one parse artifact was ever stored for the source.
+        assert (
+            stage_key(PARSE, digest, AnalysisOptions(entity="other")) in cache
+        )
+
     def test_cached_and_cold_runs_agree(self):
         cache = ArtifactCache()
         pipeline = Pipeline(cache)
@@ -276,6 +311,33 @@ class TestBatchDriver:
             ).result
             assert item.text == render_analysis_text(single)
             assert item.data["design"] == job.entity
+
+    def test_cold_sequential_batch_shares_one_parse(self, tmp_path):
+        # Even without a caller-supplied cache the sequential driver opens
+        # an in-run one, so the per-entity jobs of a file reuse its parse
+        # artifact instead of re-tokenising the same source per entity.
+        path = tmp_path / "multi.vhd"
+        path.write_text(
+            workloads.multi_entity_program(3, 2, 4), encoding="utf-8"
+        )
+        jobs = expand_jobs([str(path)], all_entities=True)
+        report = run_batch(jobs, parallel=False)
+        assert report.ok
+        first, *rest = report.items
+        assert "parse" not in first.data["cached_stages"]
+        for item in rest:
+            assert "parse" in item.data["cached_stages"]
+
+    def test_no_cache_sequential_batch_stays_cold(self, tmp_path):
+        path = tmp_path / "multi.vhd"
+        path.write_text(
+            workloads.multi_entity_program(2, 2, 4), encoding="utf-8"
+        )
+        jobs = expand_jobs([str(path)], all_entities=True)
+        report = run_batch(jobs, parallel=False, no_cache=True)
+        assert report.ok
+        for item in report.items:
+            assert item.data["cached_stages"] == []
 
     def test_entities_in_lists_architecture_order(self):
         assert entities_in(workloads.multi_entity_program(2, 2, 2)) == [
