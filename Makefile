@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench check docs examples schema load-smoke lint
+.PHONY: test bench check contracts docs examples schema load-smoke lint
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -15,6 +15,16 @@ check: lint
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) benchmarks/run_benchmarks.py --compare BENCH_scaling.json
 	$(PYTHON) scripts/load_smoke.py
+	$(PYTHON) scripts/check_contracts.py
+
+# Consumer-contract gate: replay the committed interaction corpus
+# (tests/contract/pacts) against a live inline server and a live pool
+# server (workers=2).  Additive drift logs and passes; breaking drift
+# fails with a field-level JSON-pointer diff.  Re-record after an
+# intentional contract change with:
+#   PYTHONPATH=src $(PYTHON) -m repro.cli contract record
+contracts:
+	$(PYTHON) scripts/check_contracts.py
 
 # Repo invariant gate (scripts/check_invariants.py, stdlib AST lint) plus
 # the mypy typed-core gate on repro.analysis.lint.  mypy runs only when

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Gate: the committed contract corpus verifies green against live servers.
+
+Loads every recorded interaction from ``tests/contract/pacts`` and replays
+it through the real serve stack — once against an in-process (inline)
+server and once against a worker-pool server — plus the four JSON CLI
+subcommands.  Additive field drift is logged and tolerated; any breaking
+divergence (removed field, type or value change, status/exit-code change)
+fails the gate with a field-level JSON-pointer diff and the v2 bump
+procedure.
+
+Run via ``make contracts``; equivalent to
+``PYTHONPATH=src python -m repro.cli contract verify --mode both``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.contract import Corpus, verify_corpus  # noqa: E402
+
+PACTS_DIR = REPO_ROOT / "tests" / "contract" / "pacts"
+
+
+def main() -> int:
+    try:
+        corpus = Corpus.load(PACTS_DIR)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"contracts: cannot load corpus: {error}", file=sys.stderr)
+        return 1
+    print(f"contracts: loaded {len(corpus)} interaction(s) from {PACTS_DIR}")
+
+    failed = False
+    for mode in ("inline", "pool"):
+        # the verifier logs its own summary line plus any additive drift
+        report = verify_corpus(corpus, mode=mode, log=print)
+        for result in report.failures:
+            print(result.describe(), file=sys.stderr)
+        failed = failed or not report.ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

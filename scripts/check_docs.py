@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency gate (no dependencies beyond the stdlib).
 
-Checks six things, and exits non-zero listing every failure:
+Checks seven things, and exits non-zero listing every failure:
 
 1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
    every relative link target (minus any ``#anchor``) names an existing
@@ -22,6 +22,11 @@ Checks six things, and exits non-zero listing every failure:
    ``benchmarks/bench_scaling.py`` — a phase the performance guide does
    not place in its methodology fails the gate, as does a documented
    phase the benchmark module no longer defines.
+7. The contract guide ``docs/contracts.md`` exists, and every route the
+   server dispatches (the ``"/path"`` literals in ``pipeline/serve.py``)
+   is exercised by at least one recorded interaction in
+   ``tests/contract/pacts`` — a new endpoint without a recorded contract
+   fails the gate.
 
 Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
 CI runs it as the ``docs`` job.
@@ -225,6 +230,43 @@ def check_performance_doc() -> list[str]:
     return failures
 
 
+#: "/analyze" — a route literal in pipeline/serve.py's dispatch tables.
+_SERVE_ROUTE = re.compile(r"[\"'](/[a-z]+)[\"']")
+
+
+def check_contract_corpus() -> list[str]:
+    """Every serve route has a recorded contract; the guide exists."""
+    import json
+
+    failures = []
+    if not (REPO_ROOT / "docs" / "contracts.md").exists():
+        failures.append("docs/contracts.md: the contract guide is missing")
+    serve_source = (
+        REPO_ROOT / "src" / "repro" / "pipeline" / "serve.py"
+    ).read_text(encoding="utf-8")
+    routes = set(_SERVE_ROUTE.findall(serve_source))
+    if not routes:
+        return failures + ["pipeline/serve.py: found no route literals"]
+    pacts = sorted((REPO_ROOT / "tests" / "contract" / "pacts").glob("*.json"))
+    if not pacts:
+        return failures + [
+            "tests/contract/pacts: no recorded interactions; record the "
+            "corpus with: PYTHONPATH=src python -m repro.cli contract record"
+        ]
+    recorded = set()
+    for path in pacts:
+        request = json.loads(path.read_text(encoding="utf-8"))["request"]
+        if request.get("kind") == "http":
+            recorded.add(request["path"])
+    for route in sorted(routes - recorded):
+        failures.append(
+            f"serve route {route!r} has no recorded interaction in "
+            "tests/contract/pacts — record one (vhdl-ifa contract record) "
+            "so the contract gate covers it"
+        )
+    return failures
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md"]
     docs_dir = REPO_ROOT / "docs"
@@ -235,6 +277,7 @@ def main() -> int:
     failures.extend(check_serve_flags())
     failures.extend(check_lint_catalog())
     failures.extend(check_performance_doc())
+    failures.extend(check_contract_corpus())
     for failure in failures:
         print(f"docs check: {failure}", file=sys.stderr)
     if failures:
@@ -244,7 +287,8 @@ def main() -> int:
         f"docs check: {len(documents)} documents OK "
         "(links resolve, CLI reference matches cli.py, policy keys match "
         "policy_file.py, serve flags documented in serve.md, lint catalog "
-        "matches rules.py, performance guide covers bench_scaling.py)"
+        "matches rules.py, performance guide covers bench_scaling.py, "
+        "contract corpus covers every serve route)"
     )
     return 0
 

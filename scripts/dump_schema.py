@@ -3,8 +3,10 @@
 
 The authoritative schema is :func:`repro.pipeline.render.schema_v1`; the
 committed copy is ``docs/schema_v1.json``.  ``--check`` fails (exit 1) when
-the two drift, which makes every contract change an explicit, reviewed diff;
-``--write`` refreshes the committed copy after an intentional change.
+the two drift, which makes every contract change an explicit, reviewed diff,
+and exits 2 when the committed file cannot be read at all (missing or
+unreadable is an environment problem, not a drift); ``--write`` refreshes
+the committed copy after an intentional change.
 
 Run via ``make schema`` (check) or
 ``PYTHONPATH=src python scripts/dump_schema.py --write docs/schema_v1.json``.
@@ -48,8 +50,9 @@ def main() -> int:
     try:
         committed = path.read_text(encoding="utf-8")
     except OSError as error:
+        # distinct from drift (1): the committed file is absent or unreadable
         print(f"schema check: cannot read {path}: {error}", file=sys.stderr)
-        return 1
+        return 2
     if committed != text:
         print(
             f"schema check: {path} drifted from repro.pipeline.render.schema_v1();\n"

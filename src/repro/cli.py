@@ -371,6 +371,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_contract(args: argparse.Namespace) -> int:
+    # Imported here: the contract suite pulls in the serve/pool stack, which
+    # plain analysis invocations should not pay for.
+    from repro.contract import Corpus, record_corpus, verify_corpus
+
+    pacts = Path(args.pacts)
+    if args.contract_command == "record":
+        corpus = record_corpus(log=lambda line: print(line, file=sys.stderr))
+        written = corpus.save(pacts)
+        print(f"recorded {len(written)} interaction(s) into {pacts}")
+        return EXIT_OK
+    try:
+        corpus = Corpus.load(pacts)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_INPUT
+    modes = ("inline", "pool") if args.mode == "both" else (args.mode,)
+    failed = False
+    for mode in modes:
+        report = verify_corpus(
+            corpus, mode=mode, log=lambda line: print(line, file=sys.stderr)
+        )
+        print(report.summary())
+        if not report.ok:
+            failed = True
+            for result in report.failures:
+                print(result.describe())
+    return EXIT_ERROR if failed else EXIT_OK
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     """The artifact-cache flags shared by every analysis subcommand."""
     parser.add_argument(
@@ -606,6 +636,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, metavar="DIR", help="the cache directory"
     )
     cache_clear_p.set_defaults(handler=_cmd_cache)
+
+    contract_p = sub.add_parser(
+        "contract", help="record or verify the consumer-contract corpus"
+    )
+    contract_sub = contract_p.add_subparsers(dest="contract_command", required=True)
+    contract_record_p = contract_sub.add_parser(
+        "record", help="capture the interaction corpus from live surfaces"
+    )
+    contract_record_p.add_argument(
+        "--pacts",
+        default="tests/contract/pacts",
+        metavar="DIR",
+        help="directory the interaction files are (re)written to",
+    )
+    contract_record_p.set_defaults(handler=_cmd_contract)
+    contract_verify_p = contract_sub.add_parser(
+        "verify", help="replay the corpus and fail on breaking divergences"
+    )
+    contract_verify_p.add_argument(
+        "--pacts",
+        default="tests/contract/pacts",
+        metavar="DIR",
+        help="directory holding the recorded interaction files",
+    )
+    contract_verify_p.add_argument(
+        "--mode",
+        choices=("inline", "pool", "both"),
+        default="both",
+        help="server execution mode(s) to replay under (default: both)",
+    )
+    contract_verify_p.set_defaults(handler=_cmd_contract)
 
     serve_p = sub.add_parser(
         "serve", help="run the long-lived HTTP analysis service"

@@ -1,0 +1,152 @@
+"""Pact-style matcher rules: declare volatile fields instead of pinning them.
+
+A recorded interaction pins its response *literally* except where a matcher
+rule says the value is volatile — per-stage ``timings``, ``cached_stages``,
+server ``uptime_seconds``, latency histograms, absolute file paths.  A rule
+maps a JSON pointer (RFC 6901, plus ``*`` as a wildcard path segment) to the
+JSON type the field must have::
+
+    {"/timings": "object", "/cached_stages": "array", "/jobs/*/file": "string"}
+
+:func:`normalize` rewrites a document by replacing each matched value whose
+type agrees with the rule by the canonical mask ``{"$volatile": "<type>"}``.
+A value of the *wrong* type is left in place, so the differ reports it as a
+breaking type change against the recorded mask.  Normalisation is
+
+* **idempotent** — an already-masked value is never re-interpreted (the mask
+  token itself is an object, but it is recognised and left alone), so
+  ``normalize(normalize(d)) == normalize(d)``;
+* **order-stable** — rules are applied in sorted pointer order regardless of
+  the mapping's iteration order, and a rule whose pointer no longer resolves
+  (e.g. because a parent rule masked the subtree) is skipped, so any rule
+  ordering produces the same document.
+
+Both properties are pinned by ``tests/test_contract_matchers.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+#: The single key of a masked (volatile) value in a normalised document.
+VOLATILE_KEY = "$volatile"
+
+#: The JSON type vocabulary matcher rules speak.
+JSON_TYPES = ("null", "boolean", "number", "string", "array", "object")
+
+
+def json_type(value: Any) -> str:
+    """The JSON type name of ``value`` (ints and floats are both "number")."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):  # bool is an int subclass: test it first
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "object"
+    raise TypeError(f"not a JSON value: {value!r}")
+
+
+def mask(type_name: str) -> Dict[str, str]:
+    """The canonical placeholder a volatile value is replaced with."""
+    if type_name not in JSON_TYPES:
+        raise ValueError(
+            f"unknown JSON type {type_name!r}; expected one of "
+            + ", ".join(JSON_TYPES)
+        )
+    return {VOLATILE_KEY: type_name}
+
+
+def is_mask(value: Any) -> bool:
+    """Whether ``value`` is a placeholder produced by :func:`mask`."""
+    return (
+        isinstance(value, dict)
+        and set(value) == {VOLATILE_KEY}
+        and value[VOLATILE_KEY] in JSON_TYPES
+    )
+
+
+def split_pointer(pointer: str) -> List[str]:
+    """RFC 6901: ``"/a/b~1c"`` → ``["a", "b/c"]`` (``~0``→``~``, ``~1``→``/``)."""
+    if pointer == "":
+        return []
+    if not pointer.startswith("/"):
+        raise ValueError(f"JSON pointer must start with '/': {pointer!r}")
+    return [
+        token.replace("~1", "/").replace("~0", "~")
+        for token in pointer[1:].split("/")
+    ]
+
+
+def join_pointer(tokens: List[str]) -> str:
+    """The inverse of :func:`split_pointer`."""
+    return "".join(
+        "/" + token.replace("~", "~0").replace("/", "~1") for token in tokens
+    )
+
+
+def _sites(value: Any, tokens: List[str]) -> Iterator[Tuple[Any, Any]]:
+    """Every ``(container, key)`` a (possibly wildcarded) pointer resolves to.
+
+    ``*`` matches every key of an object or every index of an array at that
+    depth.  A token that does not resolve yields nothing — matcher rules are
+    declarations of *where volatility may appear*, not assertions that the
+    field exists (field presence is the differ's job).
+    """
+    head, rest = tokens[0], tokens[1:]
+    if isinstance(value, dict):
+        if is_mask(value):
+            return  # an already-masked subtree has no interior left to visit
+        keys = list(value) if head == "*" else ([head] if head in value else [])
+        for key in keys:
+            if rest:
+                yield from _sites(value[key], rest)
+            else:
+                yield value, key
+    elif isinstance(value, list):
+        if head == "*":
+            indexes: List[int] = list(range(len(value)))
+        else:
+            try:
+                index = int(head)
+            except ValueError:
+                return
+            indexes = [index] if 0 <= index < len(value) else []
+        for index in indexes:
+            if rest:
+                yield from _sites(value[index], rest)
+            else:
+                yield value, index
+
+
+def normalize(document: Any, matchers: Mapping[str, str]) -> Any:
+    """``document`` with every matcher-rule site replaced by its mask.
+
+    The input is never mutated.  Rules apply in sorted pointer order; a site
+    whose current value is already a mask is left untouched (idempotence),
+    and a site whose value has the wrong JSON type is left *unmasked* so the
+    diff against the recorded mask surfaces the type change as breaking.
+    """
+    result = copy.deepcopy(document)
+    for pointer in sorted(matchers):
+        type_name = matchers[pointer]
+        if type_name not in JSON_TYPES:
+            raise ValueError(
+                f"matcher {pointer!r} declares unknown JSON type {type_name!r}"
+            )
+        tokens = split_pointer(pointer)
+        if not tokens:
+            raise ValueError("the root document cannot be declared volatile")
+        for container, key in list(_sites(result, tokens)):
+            current = container[key]
+            if is_mask(current):
+                continue
+            if json_type(current) == type_name:
+                container[key] = mask(type_name)
+    return result

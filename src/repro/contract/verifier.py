@@ -1,0 +1,282 @@
+"""Replay the recorded corpus against live surfaces and diff every field.
+
+``verify_corpus`` boots the server profile of each interaction group (see
+:mod:`repro.contract.profiles`), replays every recorded request — HTTP
+round-trips and CLI invocations — and compares the normalised live
+response against the recording with
+:func:`repro.contract.differ.diff_documents`:
+
+* **additive** divergences (new optional fields) pass; each one is logged
+  with an ``additive`` line so the growth is visible in CI output;
+* **breaking** divergences (removed field, type change, value change,
+  status / exit-code change) fail the interaction with a field-level
+  JSON-pointer diff naming it.
+
+**Version wiring.** Before any diff, each interaction's recorded
+``schema`` is checked against the live contract version — ``GET /version``
+of the very server under test for HTTP interactions,
+:data:`repro.pipeline.render.SCHEMA_VERSION` for CLI ones.  A skew fails
+with instructions to re-record; a breaking diff at a *matching* version
+fails with instructions to either revert or bump to ``vhdl-ifa/v2`` and
+re-record.  That makes "breaking change" an explicit, versioned event
+rather than a silent drift.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.pipeline.serve import interaction_id as serve_interaction_id
+
+from .differ import ADDITIVE, BREAKING, Divergence, diff_documents
+from .matchers import normalize
+from .model import Corpus, Interaction
+from .profiles import (
+    PROFILES,
+    boot,
+    http_request,
+    materialize_inputs,
+    resolve_argv,
+    run_cli,
+    saturated,
+)
+
+#: The advice appended to every breaking failure (the v2 bump procedure).
+BUMP_ADVICE = (
+    "either revert the producer change, or bump SCHEMA_VERSION to "
+    "'vhdl-ifa/v2' and re-record the corpus (vhdl-ifa contract record)"
+)
+
+
+@dataclass
+class InteractionResult:
+    """The verdict of replaying one interaction."""
+
+    interaction: Interaction
+    ok: bool
+    breaking: List[Divergence] = field(default_factory=list)
+    additive: List[Divergence] = field(default_factory=list)
+    failure: Optional[str] = None  # non-diff failure (version skew, transport)
+
+    def describe(self) -> str:
+        label = f"{self.interaction.description} ({self.interaction.id})"
+        if self.ok:
+            suffix = (
+                f" [+{len(self.additive)} additive]" if self.additive else ""
+            )
+            return f"PASS {label}{suffix}"
+        if self.failure is not None:
+            return f"FAIL {label}: {self.failure}"
+        lines = [f"FAIL {label}: {len(self.breaking)} breaking divergence(s)"]
+        lines.extend(f"  {divergence}" for divergence in self.breaking)
+        lines.append(f"  {BUMP_ADVICE}")
+        return "\n".join(lines)
+
+
+@dataclass
+class VerifyReport:
+    """The outcome of one full corpus replay in one execution mode."""
+
+    mode: str
+    results: List[InteractionResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def failures(self) -> List[InteractionResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def additive_count(self) -> int:
+        return sum(len(result.additive) for result in self.results)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAIL"
+        return (
+            f"contract verify [{self.mode}]: {verdict} — "
+            f"{len(self.results)} interaction(s), "
+            f"{len(self.failures)} failing, "
+            f"{self.additive_count} additive field(s)"
+        )
+
+
+def _check_schema(interaction: Interaction, live_schema: str) -> Optional[str]:
+    if interaction.schema != live_schema:
+        return (
+            f"recorded against contract {interaction.schema!r} but the live "
+            f"surface speaks {live_schema!r}; re-record the corpus against "
+            "the new contract version (vhdl-ifa contract record)"
+        )
+    return None
+
+
+def _diff_result(
+    interaction: Interaction,
+    live_document: Any,
+    *,
+    recorded_code: int,
+    live_code: int,
+    code_label: str,
+    log: Optional[Callable[[str], None]],
+) -> InteractionResult:
+    divergences = list(
+        diff_documents(
+            interaction.response["document"],
+            normalize(live_document, interaction.matchers),
+        )
+    )
+    if live_code != recorded_code:
+        divergences.insert(
+            0,
+            Divergence(
+                "",
+                BREAKING,
+                f"{code_label} changed from {recorded_code} to {live_code}",
+            ),
+        )
+    breaking = [d for d in divergences if d.kind == BREAKING]
+    additive = [d for d in divergences if d.kind == ADDITIVE]
+    result = InteractionResult(
+        interaction=interaction,
+        ok=not breaking,
+        breaking=breaking,
+        additive=additive,
+    )
+    if log:
+        for divergence in additive:
+            log(
+                f"additive: {interaction.description} ({interaction.id}) "
+                f"{divergence.pointer}: {divergence.detail}"
+            )
+        if breaking:
+            log(result.describe())
+    return result
+
+
+def _replay_http(
+    server: Any,
+    interaction: Interaction,
+    live_schema: str,
+    log: Optional[Callable[[str], None]],
+) -> InteractionResult:
+    skew = _check_schema(interaction, live_schema)
+    if skew is not None:
+        return InteractionResult(interaction=interaction, ok=False, failure=skew)
+    request = interaction.request
+    method, path = request["method"], request["path"]
+    payload = request.get("body")
+    try:
+        status, document, headers = http_request(server.port, method, path, payload)
+    except Exception as error:  # transport failure is a verification failure
+        return InteractionResult(
+            interaction=interaction,
+            ok=False,
+            failure=f"transport error replaying {method} {path}: {error!r}",
+        )
+    if status != 413:  # a 413 is rejected before the body is read: no id
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        expected_header = serve_interaction_id(method, path, body)
+        if headers.get("X-Interaction-Id") != expected_header:
+            return InteractionResult(
+                interaction=interaction,
+                ok=False,
+                failure=(
+                    f"X-Interaction-Id header "
+                    f"{headers.get('X-Interaction-Id')!r} does not match the "
+                    f"request address {expected_header!r}"
+                ),
+            )
+    return _diff_result(
+        interaction,
+        document,
+        recorded_code=int(interaction.response["status"]),
+        live_code=status,
+        code_label="status",
+        log=log,
+    )
+
+
+def _replay_cli(
+    root: Path,
+    interaction: Interaction,
+    live_schema: str,
+    log: Optional[Callable[[str], None]],
+) -> InteractionResult:
+    skew = _check_schema(interaction, live_schema)
+    if skew is not None:
+        return InteractionResult(interaction=interaction, ok=False, failure=skew)
+    argv = resolve_argv(interaction.request["argv"], root)
+    try:
+        exit_code, document = run_cli(argv)
+    except Exception as error:
+        return InteractionResult(
+            interaction=interaction,
+            ok=False,
+            failure=f"error replaying CLI {argv!r}: {error!r}",
+        )
+    return _diff_result(
+        interaction,
+        document,
+        recorded_code=int(interaction.response["exit_code"]),
+        live_code=exit_code,
+        code_label="exit code",
+        log=log,
+    )
+
+
+def verify_corpus(
+    corpus: Corpus,
+    mode: str = "inline",
+    scratch: Optional[Path] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> VerifyReport:
+    """Replay every interaction of ``corpus`` in ``mode`` (inline/pool)."""
+    from repro.pipeline.render import SCHEMA_VERSION
+
+    if scratch is None:
+        with tempfile.TemporaryDirectory(prefix="vhdl-ifa-contract-") as tmp:
+            return verify_corpus(corpus, mode, Path(tmp), log)
+    root = materialize_inputs(Path(scratch))
+    report = VerifyReport(mode=mode)
+    by_profile: Dict[str, List[Interaction]] = {}
+    for interaction in corpus:
+        by_profile.setdefault(interaction.profile, []).append(interaction)
+    for profile_name, group in by_profile.items():
+        if profile_name == "cli":
+            for interaction in group:
+                report.results.append(
+                    _replay_cli(root, interaction, SCHEMA_VERSION, log)
+                )
+            continue
+        profile = PROFILES.get(profile_name)
+        if profile is None:
+            for interaction in group:
+                report.results.append(
+                    InteractionResult(
+                        interaction=interaction,
+                        ok=False,
+                        failure=(
+                            f"unknown server profile {profile_name!r}; the "
+                            "corpus and repro.contract.profiles are out of sync"
+                        ),
+                    )
+                )
+            continue
+        with boot(profile, mode=mode) as server:
+            # The live contract version, asked of the very server under test.
+            _, version_document, _ = http_request(server.port, "GET", "/version")
+            live_schema = str(version_document.get("schema"))
+            with saturated(server, profile):
+                for interaction in group:
+                    report.results.append(
+                        _replay_http(server, interaction, live_schema, log)
+                    )
+    if log:
+        log(report.summary())
+    return report

@@ -55,8 +55,9 @@ from repro.pipeline.render import (
     select_graph,
     stamped,
     version_document,
+    volatile_pointers,
 )
-from repro.pipeline.serve import AnalysisServer, ServerThread, serve
+from repro.pipeline.serve import AnalysisServer, ServerThread, interaction_id, serve
 from repro.pipeline.stages import (
     ANALYSIS_STAGES,
     KEMMERER_STAGES,
@@ -98,6 +99,7 @@ __all__ = [
     "check_document",
     "entities_in",
     "expand_jobs",
+    "interaction_id",
     "json_text",
     "lint_document",
     "lint_json",
@@ -116,4 +118,5 @@ __all__ = [
     "stage_key",
     "stamped",
     "version_document",
+    "volatile_pointers",
 ]

@@ -255,6 +255,67 @@ def version_document() -> Dict[str, Any]:
     return stamped({"command": "version", "version": version()})
 
 
+#: Volatile-field matcher rules shared by every analysis-style document.
+#: ``/file`` is the caller-supplied path (absolute and run-dependent under
+#: the CLI, ``null`` for ``source`` requests — a null is simply not masked).
+_ANALYSIS_VOLATILE = {
+    "/timings": "object",
+    "/cached_stages": "array",
+    "/file": "string",
+}
+
+
+def volatile_pointers(command: str) -> Dict[str, str]:
+    """The authoritative matcher table of one document kind.
+
+    Maps each ``command`` value a v1 document can carry to the JSON-pointer
+    → JSON-type rules declaring which of its fields are run-dependent
+    (wall-clock timings, cache state, absolute paths, uptime, counters,
+    latency histograms).  The contract recorder (:mod:`repro.contract`)
+    stamps these rules into every recorded interaction, and the verifier
+    masks both the recording and the live response with them — everything
+    *not* listed here is pinned byte-for-byte by the corpus.
+    """
+    if command in ("analyze", "kemmerer", "check", "lint"):
+        return dict(_ANALYSIS_VOLATILE)
+    if command == "batch":
+        # Batch jobs inline the per-job analyze/check/lint document, so the
+        # analysis volatiles recur one level down, plus per-job wall clocks.
+        return {
+            "/elapsed": "number",
+            "/jobs/*/file": "string",
+            "/jobs/*/seconds": "number",
+            "/jobs/*/timings": "object",
+            "/jobs/*/cached_stages": "array",
+        }
+    if command == "policy":
+        return {}
+    if command == "version":
+        # The package version moves on every release; the *shape* is the
+        # contract, enforced separately via the schema stamp.
+        return {"/version": "string"}
+    if command == "stats":
+        return {
+            "/uptime_seconds": "number",
+            "/requests": "object",
+            "/policies": "array",
+            "/cache": "object",
+        }
+    if command == "healthz":
+        return {"/workers": "object"}
+    if command == "metrics":
+        return {
+            "/uptime_seconds": "number",
+            "/requests": "object",
+            "/cache": "object",
+            "/latency": "object",
+            "/workers": "object",
+        }
+    if command == "error":
+        return {}
+    raise ValueError(f"no matcher table for document kind {command!r}")
+
+
 def json_text(document: Dict[str, Any]) -> str:
     """One canonical JSON serialisation, shared by the CLI and the server.
 

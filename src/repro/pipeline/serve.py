@@ -60,6 +60,7 @@ Every response body carries the ``"schema": "vhdl-ifa/v1"`` stamp.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import signal
 import threading
@@ -104,6 +105,26 @@ _REQUEST_ERRORS = (ReproError, OSError, UnicodeDecodeError)
 
 #: The pooled analysis endpoints (path → request kind).
 _ANALYSIS_PATHS = {"/analyze": "analyze", "/check": "check", "/lint": "lint"}
+
+
+def interaction_id(method: str, path: str, body: bytes = b"") -> str:
+    """The stable content address of one request stimulus.
+
+    Every *routed* response carries it as the ``X-Interaction-Id`` header, so
+    clients (and the contract suite in :mod:`repro.contract`) can correlate
+    recorded interactions with live traffic: the same method + path + body
+    bytes always map to the same id, regardless of the response.  Requests
+    rejected before the body is read (malformed HTTP, an oversized
+    Content-Length answered ``413``) carry no id — the stimulus was never
+    fully observed.
+    """
+    digest = hashlib.sha256()
+    digest.update(method.encode("utf-8"))
+    digest.update(b" ")
+    digest.update(path.encode("utf-8"))
+    digest.update(b"\n")
+    digest.update(body or b"")
+    return digest.hexdigest()[:12]
 
 
 class _Histogram:
@@ -335,6 +356,8 @@ class AnalysisServer:
                 await self._respond(writer, error.status, {"error": str(error)})
                 return
             status, document, headers = await self._answer(method, path, body)
+            headers = dict(headers)
+            headers.setdefault("X-Interaction-Id", interaction_id(method, path, body))
             await self._respond(writer, status, document, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
@@ -675,22 +698,38 @@ class AnalysisServer:
         via ``serve --policy`` — cannot be replaced with a *different*
         policy: that would let any client silently weaken the verdicts of
         later ``POST /check`` requests.  Re-posting an identical document is
-        idempotent and fine.
+        a true ``200`` no-op: the registered object is kept (nothing is
+        re-bound, so in-flight ``/check`` requests never observe a swap) and
+        the canonical document is echoed — replay loops over a recorded
+        corpus can re-register the same policy any number of times.
         """
-        from repro.security.policy_file import policy_from_dict, policy_to_dict
+        from repro.security.policy_file import (
+            PolicyFileError,
+            policy_from_dict,
+            policy_to_dict,
+        )
 
         policy = policy_from_dict(payload, context="request")
         if policy.name is not None:
             existing = self.workspace.policies.get(policy.name)
-            if existing is not None and policy_to_dict(existing) != policy_to_dict(
-                policy
-            ):
-                raise _BadRequest(
-                    f"policy {policy.name!r} is already registered with a "
-                    "different definition; pick another name",
-                    status=409,
-                )
-            self.workspace.register_policy(policy.name, policy)
+            if existing is not None:
+                try:
+                    identical = policy_to_dict(existing) == policy_to_dict(policy)
+                except PolicyFileError:
+                    # A registered policy that cannot round-trip through the
+                    # file format (programmatic, conflicting level names) can
+                    # never equal a posted document — that is a conflict, not
+                    # a 500 from the idempotence probe itself.
+                    identical = False
+                if not identical:
+                    raise _BadRequest(
+                        f"policy {policy.name!r} is already registered with a "
+                        "different definition; pick another name",
+                        status=409,
+                    )
+                policy = existing
+            else:
+                self.workspace.register_policy(policy.name, policy)
         return stamped(
             {
                 "command": "policy",

@@ -1,0 +1,33 @@
+"""Fixtures for the consumer-contract corpus under ``tests/contract/pacts``.
+
+``recorded_corpus`` loads the committed corpus once per session (the load
+itself re-derives every content address, so a hand-edited file fails here).
+``fresh_corpus`` re-records the whole corpus from live surfaces once per
+session — the recording fixture the integrity tests replay against: a
+committed corpus that no longer matches a fresh recording means either the
+producer drifted or a volatile field is missing its matcher rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.contract import Corpus, record_corpus
+
+PACTS_DIR = Path(__file__).resolve().parent / "pacts"
+
+
+@pytest.fixture(scope="session")
+def pacts_dir() -> Path:
+    return PACTS_DIR
+
+
+@pytest.fixture(scope="session")
+def recorded_corpus() -> Corpus:
+    return Corpus.load(PACTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def fresh_corpus(tmp_path_factory) -> Corpus:
+    scratch = tmp_path_factory.mktemp("contract-recording")
+    return record_corpus(scratch)

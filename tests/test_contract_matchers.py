@@ -1,0 +1,186 @@
+"""Property tests for the contract matcher normaliser.
+
+The two properties the corpus depends on (see
+``src/repro/contract/matchers.py``):
+
+* **idempotence** — normalising an already-normalised document changes
+  nothing, so committed recordings (stored normalised) can be re-masked
+  freely during verification;
+* **order-stability** — the rule *mapping's* iteration order is
+  irrelevant: any permutation of the same rules produces the same
+  document.
+
+Both are exercised over generated JSON documents with generated matcher
+tables (including wildcards and pointers that resolve nowhere), and over
+every committed recording.
+"""
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contract.matchers import (
+    JSON_TYPES,
+    is_mask,
+    join_pointer,
+    json_type,
+    mask,
+    normalize,
+    split_pointer,
+)
+
+PACTS_DIR = Path(__file__).resolve().parent / "contract" / "pacts"
+
+# ---------------------------------------------------------------- strategies
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+json_documents = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+def _pointers_of(document, prefix=()):
+    """Every concrete pointer into ``document``, as token tuples."""
+    pointers = []
+    if isinstance(document, dict):
+        for key, value in document.items():
+            pointers.append(prefix + (key,))
+            pointers.extend(_pointers_of(value, prefix + (key,)))
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            pointers.append(prefix + (str(index),))
+            pointers.extend(_pointers_of(value, prefix + (str(index),)))
+    return pointers
+
+
+@st.composite
+def documents_with_matchers(draw):
+    """A document plus a matcher table over (mostly) real paths in it."""
+    document = draw(json_documents)
+    real = _pointers_of(document)
+    rules = {}
+    if real:
+        chosen = draw(
+            st.lists(st.sampled_from(real), max_size=4, unique=True)
+        )
+        for tokens in chosen:
+            # Sometimes generalise a segment to a wildcard.
+            tokens = tuple(
+                "*" if draw(st.booleans()) and token.isdigit() else token
+                for token in tokens
+            )
+            rules[join_pointer(list(tokens))] = draw(st.sampled_from(JSON_TYPES))
+    if draw(st.booleans()):  # a rule that resolves nowhere must be harmless
+        rules["/no/such/path"] = draw(st.sampled_from(JSON_TYPES))
+    return document, rules
+
+
+# ----------------------------------------------------------------- properties
+
+
+@settings(max_examples=200, deadline=None)
+@given(documents_with_matchers())
+def test_normalize_is_idempotent(case):
+    document, rules = case
+    once = normalize(document, rules)
+    assert normalize(once, rules) == once
+
+
+@settings(max_examples=200, deadline=None)
+@given(documents_with_matchers(), st.randoms())
+def test_normalize_is_order_stable(case, rng):
+    document, rules = case
+    items = list(rules.items())
+    rng.shuffle(items)
+    assert normalize(document, dict(items)) == normalize(document, rules)
+
+
+@settings(max_examples=200, deadline=None)
+@given(documents_with_matchers())
+def test_normalize_never_mutates_its_input(case):
+    document, rules = case
+    snapshot = json.loads(json.dumps(document))
+    normalize(document, rules)
+    assert document == snapshot
+
+
+@settings(max_examples=200, deadline=None)
+@given(documents_with_matchers())
+def test_masked_sites_carry_declared_type_or_original_value(case):
+    document, rules = case
+    result = normalize(document, rules)
+    # Every mask in the output is a well-formed placeholder.
+    stack = [result]
+    while stack:
+        value = stack.pop()
+        if is_mask(value):
+            assert value["$volatile"] in JSON_TYPES
+        elif isinstance(value, dict):
+            stack.extend(value.values())
+        elif isinstance(value, list):
+            stack.extend(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.text(st.characters(blacklist_categories=("Cs",)), max_size=8),
+        max_size=5,
+    )
+)
+def test_pointer_escaping_round_trips(tokens):
+    assert split_pointer(join_pointer(tokens)) == tokens
+
+
+def test_tilde_and_slash_escaping():
+    assert join_pointer(["a/b", "c~d"]) == "/a~1b/c~0d"
+    assert split_pointer("/a~1b/c~0d") == ["a/b", "c~d"]
+
+
+def test_wildcard_masks_every_element():
+    document = {"jobs": [{"seconds": 0.1}, {"seconds": 0.2}, {"seconds": "x"}]}
+    result = normalize(document, {"/jobs/*/seconds": "number"})
+    assert result["jobs"][0]["seconds"] == mask("number")
+    assert result["jobs"][1]["seconds"] == mask("number")
+    # wrong JSON type is left unmasked for the differ to flag
+    assert result["jobs"][2]["seconds"] == "x"
+
+
+def test_json_type_vocabulary():
+    assert json_type(None) == "null"
+    assert json_type(True) == "boolean"
+    assert json_type(1) == json_type(1.5) == "number"
+    assert json_type("s") == "string"
+    assert json_type([]) == "array"
+    assert json_type({}) == "object"
+
+
+# ------------------------------------------------- the committed recordings
+
+
+def test_every_committed_recording_is_a_fixed_point():
+    """Round-trip each recorded document through its own matcher table."""
+    paths = sorted(PACTS_DIR.glob("*.json"))
+    assert len(paths) >= 40
+    for path in paths:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        document = payload["response"]["document"]
+        rules = payload["matchers"]
+        assert normalize(document, rules) == document, path.name
+        # and order-stability holds on the real tables too
+        reversed_rules = dict(reversed(list(rules.items())))
+        assert normalize(document, reversed_rules) == document, path.name

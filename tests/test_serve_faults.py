@@ -464,3 +464,76 @@ class TestFaultPlanEnv:
         # once=True disarms after the first trigger
         assert not injector._triggers("another needle")
         assert injector.fired == 1
+
+
+class TestRecordedErrorContracts:
+    """The committed contract corpus pins every fault body field-by-field.
+
+    Live reproduction of the 429/504 paths (which needs a saturated or hung
+    pool) is exercised by the corpus replay in ``tests/test_contracts.py``;
+    here we assert the *recorded* documents directly so a producer edit to
+    any error string or field shows up as a one-line test diff, and replay
+    the cheap 413 path against a live server to tie the two together.
+    """
+
+    @pytest.fixture(scope="class")
+    def pacts(self):
+        from pathlib import Path
+
+        from repro.contract import Corpus
+
+        corpus = Corpus.load(
+            Path(__file__).resolve().parent / "contract" / "pacts"
+        )
+        return {interaction.description: interaction for interaction in corpus}
+
+    def test_413_body_is_pinned_field_by_field(self, pacts):
+        recorded = pacts["analyze oversized body"]
+        assert recorded.response["status"] == 413
+        document = recorded.response["document"]
+        assert sorted(document) == ["error", "schema"]
+        assert document["schema"] == "vhdl-ifa/v1"
+        assert document["error"] == (
+            "request body of 4122 bytes exceeds the 2048-byte limit"
+        )
+        # nothing volatile in an error body: the contract pins every field
+        assert recorded.matchers == {}
+
+    def test_429_body_is_pinned_field_by_field(self, pacts):
+        recorded = pacts["analyze shed at capacity"]
+        assert recorded.response["status"] == 429
+        document = recorded.response["document"]
+        assert sorted(document) == ["error", "retry_after", "schema"]
+        assert document["schema"] == "vhdl-ifa/v1"
+        assert document["error"] == (
+            "server at capacity (1 requests admitted); retry later"
+        )
+        assert document["retry_after"] == 1
+        assert recorded.matchers == {}
+
+    def test_504_body_is_pinned_field_by_field(self, pacts):
+        recorded = pacts["analyze hung worker times out"]
+        assert recorded.response["status"] == 504
+        document = recorded.response["document"]
+        assert sorted(document) == ["error", "schema"]
+        assert document["schema"] == "vhdl-ifa/v1"
+        assert document["error"] == (
+            "analysis exceeded the 1s request budget; the worker was recycled"
+        )
+        assert recorded.matchers == {}
+
+    def test_live_413_matches_the_recording_exactly(self, pacts):
+        from repro.contract.profiles import PROFILES, boot
+
+        recorded = pacts["analyze oversized body"]
+        with boot(PROFILES["limits"], mode="inline") as server:
+            status, body, headers = _request(
+                server.port,
+                recorded.request["method"],
+                recorded.request["path"],
+                recorded.request["body"],
+            )
+        assert status == recorded.response["status"]
+        assert json.loads(body) == recorded.response["document"]
+        # rejected before the body is read: no interaction id is stamped
+        assert "X-Interaction-Id" not in headers
