@@ -37,14 +37,25 @@ from repro.pipeline import (
     AnalysisServer,
     ArtifactCache,
     DiskArtifactCache,
+    Pipeline,
     ServerThread,
     TieredArtifactCache,
     expand_jobs,
     run_batch,
 )
+from repro.hier import (
+    build_hierarchy,
+    flatten_source,
+    link_hierarchy,
+    summary_cache_key,
+)
 from repro.vhdl.elaborate import elaborate, elaborate_source
 from repro.vhdl.parser import parse_program
-from repro.workloads import multi_entity_program, synthetic_chain_program
+from repro.workloads import (
+    hierarchical_register_file,
+    multi_entity_program,
+    synthetic_chain_program,
+)
 
 #: (processes, assignments per process) — program size grows left to right.
 #: The 8×64 chain is the headline workload of the bitset-engine optimisation;
@@ -357,6 +368,130 @@ def test_batch_throughput_disk_warm(benchmark, report, batch_jobs, tmp_path_fact
         entities=BATCH_ENTITIES,
         cached_stages_per_job=sorted(cached),
         disk_entries=len(DiskArtifactCache(cache_dir)),
+    )
+
+
+# ------------------------------------------------------------------- hierarchy
+#
+# The hierarchical-design phases price the compositional linker
+# (docs/hierarchy.md) on a 2000-instance register file: a cold link
+# (summaries built from scratch), an incremental re-link after a leaf-entity
+# edit (exactly one summary recomputed, the rest served from cache), and the
+# headline linked-vs-flattened ratio — the flattening oracle analyses the
+# whole expanded design through the flat pipeline, whose whole-program
+# Reaching Definitions phase scales quadratically with the label count,
+# while the linker solves Table 5 per process and re-runs only the
+# cross-process stages.
+
+#: (cells, per-cell process depth) of the hierarchy workload.  The cell
+#: count is the lever that separates the routes: the flat oracle's
+#: whole-program Reaching Definitions and specialisation costs grow
+#: super-linearly with the process count (every definition set spans every
+#: process), while the linker's grow linearly — 2000 cells at a modest
+#: depth clears the asserted floor with ~50% margin.
+HIER_SHAPE = (2000, 8)
+
+#: The minimum linked-vs-flattened speed-up the ratio phase asserts.
+HIER_MIN_RATIO = 10.0
+
+
+@pytest.fixture(scope="module")
+def hier_program():
+    return parse_program(hierarchical_register_file(*HIER_SHAPE))
+
+
+def test_hier_link_cold(benchmark, report, hier_program):
+    """Cold compositional link: summarise every entity, then compose."""
+    result = benchmark(lambda: link_hierarchy(hier_program, AnalysisOptions()))
+    stats = result.result.program_cfg.summary()
+    report(
+        shape=HIER_SHAPE,
+        processes=stats["processes"],
+        labels=stats["labels"],
+        graph_edges=result.result.graph.edge_count(),
+    )
+
+
+def test_hier_link_incremental(benchmark, report):
+    """Re-link after editing the leaf entity: one summary recomputed.
+
+    Every round starts from a cache holding only the *unchanged* entity's
+    summary (what a real cache holds after the edit invalidated the leaf),
+    so the measured work is exactly the incremental cost: re-summarise one
+    entity, re-run the link-time stages.
+    """
+    base = hierarchical_register_file(*HIER_SHAPE)
+    edited = base.replace("state <= nxt;", "state <= (nxt xor clr);", 1)
+    assert edited != base
+    edited_program = parse_program(edited)
+    hierarchy = build_hierarchy(edited_program)
+    leaf_key = summary_cache_key(hierarchy.unit_of("reg_cell"))
+    root_key = summary_cache_key(hierarchy.root_unit)
+
+    warm = ArtifactCache()
+    link_hierarchy(parse_program(base), AnalysisOptions(), cache=warm)
+    root_summary = warm.get(root_key)
+    assert root_summary is not None  # the root's slice is unaffected
+    assert warm.get(leaf_key) is None  # the edit invalidated the leaf
+
+    def run():
+        cache = ArtifactCache()
+        cache.put(root_key, root_summary)
+        result = link_hierarchy(edited_program, AnalysisOptions(), cache=cache)
+        assert leaf_key in cache  # exactly the leaf summary was recomputed
+        return result
+
+    result = benchmark(run)
+    report(
+        shape=HIER_SHAPE,
+        entities_resummarised=1,
+        processes=result.result.program_cfg.summary()["processes"],
+    )
+
+
+def test_hier_linked_vs_flattened(benchmark, report, hier_program):
+    """The linked route vs the flattening oracle, same design, same options.
+
+    The linked route is the benchmarked statistic and runs *first* (the
+    oracle's multi-gigabyte flat artifacts would otherwise sit in memory,
+    inflating the linked rounds); the flattened analysis then runs once and
+    the ratio compares best-of-rounds link time against it.  Asserts the
+    headline ratio of the subsystem: linking is at least ``HIER_MIN_RATIO``
+    times faster on this 1000-instance design.
+    """
+    import time as time_module
+
+    options = AnalysisOptions()
+    link_times = []
+
+    def run():
+        started = time_module.perf_counter()
+        result = link_hierarchy(hier_program, options)
+        link_times.append(time_module.perf_counter() - started)
+        return result
+
+    linked = benchmark(run)
+    link_adjacency = linked.result.graph.to_adjacency()
+    link_seconds = min(link_times)
+    del linked
+
+    started = time_module.perf_counter()
+    flattened = Pipeline().run(flatten_source(hier_program), options)
+    flatten_seconds = time_module.perf_counter() - started
+    assert flattened.result.graph.to_adjacency() == link_adjacency
+    del flattened
+
+    ratio = flatten_seconds / link_seconds
+    assert ratio >= HIER_MIN_RATIO, (
+        f"linked route only {ratio:.1f}x faster than flattening "
+        f"({link_seconds:.2f}s vs {flatten_seconds:.2f}s)"
+    )
+    report(
+        shape=HIER_SHAPE,
+        flatten_seconds=round(flatten_seconds, 3),
+        link_seconds=round(link_seconds, 3),
+        ratio=round(ratio, 2),
+        min_ratio=HIER_MIN_RATIO,
     )
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency gate (no dependencies beyond the stdlib).
 
-Checks seven things, and exits non-zero listing every failure:
+Checks eight things, and exits non-zero listing every failure:
 
 1. Internal markdown links in ``README.md`` and ``docs/*.md`` resolve —
    every relative link target (minus any ``#anchor``) names an existing
@@ -27,6 +27,10 @@ Checks seven things, and exits non-zero listing every failure:
    is exercised by at least one recorded interaction in
    ``tests/contract/pacts`` — a new endpoint without a recorded contract
    fails the gate.
+8. The hierarchy guide ``docs/hierarchy.md`` exists and mentions every
+   public name exported from ``src/repro/hier/__init__.py`` (its
+   ``__all__``) — a new hierarchy API without documentation fails the
+   gate.
 
 Run it directly (``python scripts/check_docs.py``) or via ``make docs``;
 CI runs it as the ``docs`` job.
@@ -267,6 +271,33 @@ def check_contract_corpus() -> list[str]:
     return failures
 
 
+#: __all__ = [...] — the hierarchy package's public surface.
+_HIER_ALL = re.compile(r"^__all__\s*=\s*[\[(]([^\])]*)[\])]", re.MULTILINE)
+
+
+def check_hierarchy_doc() -> list[str]:
+    """``docs/hierarchy.md`` must mention every ``repro.hier`` export."""
+    guide = REPO_ROOT / "docs" / "hierarchy.md"
+    package = REPO_ROOT / "src" / "repro" / "hier" / "__init__.py"
+    if not guide.exists():
+        return ["docs/hierarchy.md: the hierarchy guide is missing"]
+    match = _HIER_ALL.search(package.read_text(encoding="utf-8"))
+    if match is None:
+        return [f"{package.relative_to(REPO_ROOT)}: found no __all__ list"]
+    exported = set(re.findall(r"[\"']([A-Za-z_]+)[\"']", match.group(1)))
+    if not exported:
+        return [f"{package.relative_to(REPO_ROOT)}: __all__ is empty"]
+    text = guide.read_text(encoding="utf-8")
+    failures = []
+    for name in sorted(exported):
+        if f"`{name}`" not in text:
+            failures.append(
+                f"repro/hier exports {name!r} but docs/hierarchy.md does "
+                "not document it"
+            )
+    return failures
+
+
 def main() -> int:
     documents = [REPO_ROOT / "README.md"]
     docs_dir = REPO_ROOT / "docs"
@@ -278,6 +309,7 @@ def main() -> int:
     failures.extend(check_lint_catalog())
     failures.extend(check_performance_doc())
     failures.extend(check_contract_corpus())
+    failures.extend(check_hierarchy_doc())
     for failure in failures:
         print(f"docs check: {failure}", file=sys.stderr)
     if failures:
@@ -288,7 +320,8 @@ def main() -> int:
         "(links resolve, CLI reference matches cli.py, policy keys match "
         "policy_file.py, serve flags documented in serve.md, lint catalog "
         "matches rules.py, performance guide covers bench_scaling.py, "
-        "contract corpus covers every serve route)"
+        "contract corpus covers every serve route, hierarchy guide covers "
+        "the repro.hier exports)"
     )
     return 0
 

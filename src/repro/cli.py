@@ -11,7 +11,10 @@ Subcommands
 ``analyze FILE``
     Run the (improved) Information Flow analysis and print the flow graph as
     an adjacency list or DOT; ``--json`` emits a machine-readable summary
-    with per-stage timings instead.
+    with per-stage timings instead.  A file with component instantiations is
+    analysed hierarchically (per-entity summaries linked over the
+    instantiation tree; ``--flatten`` forces the equivalent flattening
+    route — see ``docs/hierarchy.md``).
 ``kemmerer FILE``
     Run Kemmerer's baseline for comparison.  Takes the same ``--collapse`` /
     ``--self-loops`` graph-shaping flags as ``analyze``.
@@ -169,8 +172,14 @@ def _emit_profile(args: argparse.Namespace, run) -> None:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     profiling = bool(args.profile or args.profile_json)
+    # Sources with component instantiations route through repro.hier: the
+    # summary linker by default, the flattening oracle with --flatten (the
+    # two produce byte-identical documents; see docs/hierarchy.md).
     run = _workspace(args).analyze_run(
-        _read_source(args.file), profile=profiling, **_analysis_opts(args)
+        _read_source(args.file),
+        profile=profiling,
+        hierarchy="flatten" if args.flatten else "link",
+        **_analysis_opts(args),
     )
     if profiling:
         _emit_profile(args, run)
@@ -463,6 +472,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--entity", help="entity to elaborate", default=None)
     analyze_p.add_argument("--basic", action="store_true", help="disable the improved (Table 9) analysis")
     analyze_p.add_argument("--straight-line", action="store_true", help="analyse process bodies without repetition")
+    analyze_p.add_argument(
+        "--flatten",
+        action="store_true",
+        help=(
+            "analyse a hierarchical design by flattening it instead of "
+            "linking per-entity summaries (byte-identical output; no "
+            "effect on flat designs)"
+        ),
+    )
     _add_graph_flags(analyze_p)
     analyze_p.add_argument(
         "--json",

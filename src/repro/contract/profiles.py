@@ -254,6 +254,8 @@ def materialize_inputs(root: Path) -> Path:
     workload_dir.mkdir(parents=True, exist_ok=True)
     for name, source in workloads.batch_workload_sources():
         (workload_dir / f"{name}.vhd").write_text(source, encoding="utf-8")
+    for name, source in workloads.hierarchy_workload_sources():
+        (workload_dir / f"{name}.vhd").write_text(source, encoding="utf-8")
     fixture_dir = root / "fixtures"
     fixture_dir.mkdir(parents=True, exist_ok=True)
     for name, document in CONTRACT_FIXTURES.items():

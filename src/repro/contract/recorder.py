@@ -107,6 +107,36 @@ def _http_inventory() -> List[_HttpPlan]:
                 {"source": source}, 200, "lint",
             )
         )
+    hier = dict(workloads.hierarchy_workload_sources())
+    plans.append(
+        _HttpPlan(
+            "analyze hierarchical mux", "default", "POST", "/analyze",
+            {"source": hier["mux_top"]}, 200, "analyze",
+        )
+    )
+    plans.append(
+        _HttpPlan(
+            "check hierarchical mux secret", "default", "POST", "/check",
+            {"source": hier["mux_top"], "secret": ["sel"]}, 200, "check",
+        )
+    )
+    plans.append(
+        _HttpPlan(
+            "lint hierarchical mux", "default", "POST", "/lint",
+            {"source": hier["mux_top"]}, 200, "lint",
+        )
+    )
+    plans.append(
+        _HttpPlan(
+            "analyze unbound formal port", "default", "POST", "/analyze",
+            {
+                "source": hier["mux_top"].replace(
+                    "port map (lo, sel, n2)", "port map (lo, sel)"
+                )
+            },
+            400, "error",
+        )
+    )
     plans.extend(
         [
             _HttpPlan(
@@ -233,6 +263,15 @@ def _cli_inventory() -> List[_CliPlan]:
                 "--json", "--fail-on", "never",
             ),
             0, "lint",
+        ),
+        _CliPlan(
+            "cli analyze hierarchical mux",
+            ("analyze", "@workloads/mux_top.vhd", "--json"), 0, "analyze",
+        ),
+        _CliPlan(
+            "cli analyze hierarchical mux flattened",
+            ("analyze", "@workloads/mux_top.vhd", "--json", "--flatten"),
+            0, "analyze",
         ),
         _CliPlan(
             "cli batch sequential",

@@ -54,6 +54,16 @@ class ElaborationError(ReproError):
     """
 
 
+class HierarchyError(ElaborationError):
+    """Raised for structural faults in a hierarchical design.
+
+    Examples: an instantiation naming an unknown component, a port map whose
+    arity or formal names do not match the component interface, an
+    instantiation cycle, or port aliasing the compositional linker cannot
+    reproduce exactly.
+    """
+
+
 class TypeCheckError(ReproError):
     """Raised for static type violations in VHDL1 (vector widths, modes)."""
 

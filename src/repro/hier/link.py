@@ -1,0 +1,552 @@
+"""Compositional linking of entity summaries over the instantiation tree.
+
+Linking composes a whole-design analysis out of per-entity
+:class:`~repro.hier.summary.EntitySummary` artifacts without re-running any
+per-process stage:
+
+1.  Every process of every (transitively) instantiated entity is *placed*:
+    its summary facts are renamed through the composed port maps into the
+    flat namespace (the same renaming :mod:`repro.hier.flatten` applies to
+    the AST) and its labels shifted by one offset into the label range the
+    flat design would have allocated to it.  Placement is exact because the
+    standalone labelling of a process is allocator-contiguous and
+    order-isomorphic to its flat labelling, and because the per-process
+    results of Tables 4 and 6 are closed under injective renaming of the
+    written names (the structural layer rejects port maps that alias a
+    written port for precisely this reason).
+2.  The cross-process stages then run for real over the composed data: the
+    Table 5 reaching definitions (solved per process — the flow relation has
+    no cross-process edges, so the whole-program least solution decomposes
+    exactly), the Table 7 specialisation, and the Table 8/9 closure down to
+    the :class:`~repro.analysis.flowgraph.FlowGraph`.  These are the
+    *original* analysis functions, driven through a
+    :class:`LinkedProgramCFG` facade that answers the cross-flow queries in
+    O(1) from the composed wait-label sets.
+
+The result is a regular :class:`~repro.pipeline.artifacts.PipelineResult`
+(stages ``summary`` and ``link``) whose analysis artefacts — and therefore
+whose rendered ``vhdl-ifa/v1`` documents — are byte-identical to analysing
+the flattened program, while the per-entity work is shared across instances
+and cached across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.closure import global_resource_matrix
+from repro.analysis.flowgraph import FlowGraph
+from repro.analysis.improved import improved_global_resource_matrix
+from repro.analysis.reaching_active import ActiveSignalsResult
+from repro.analysis.reaching_defs import (
+    ReachingDefinitionsResult,
+    gen_rd,
+    initial_definitions,
+    kill_rd,
+)
+from repro.analysis.resource_matrix import Access, ResourceMatrix
+from repro.analysis.specialize import specialize
+from repro.cfg.builder import ProcessCFG
+from repro.cfg.labels import Block, BlockKind
+from repro.dataflow.framework import DataflowInstance, JoinMode
+from repro.dataflow.universe import FactUniverse
+from repro.dataflow.worklist import solve
+from repro.errors import HierarchyError
+from repro.hier.flatten import instance_rename
+from repro.hier.structure import DesignHierarchy, HierarchyUnit, Instance, build_hierarchy
+from repro.hier.summary import EntitySummary, ProcessSummary, summarize_entity
+from repro.pipeline.artifacts import (
+    AnalysisOptions,
+    AnalysisResult,
+    PipelineResult,
+    StageTiming,
+)
+from repro.vhdl import ast
+from repro.vhdl.elaborate import Design, SignalInfo
+
+Rename = Callable[[str], str]
+
+
+def _identity(name: str) -> str:
+    return name
+
+
+class _LinkedProcess:
+    """The process facade behind a relocated :class:`ProcessCFG`.
+
+    Provides exactly what the link-time stages consume: the flat name, the
+    renamed free-name sets (for the Table 5 extremal values) and the renamed
+    variable table.
+    """
+
+    __slots__ = ("name", "variables", "synthesized", "_free_signals", "_free_variables")
+
+    def __init__(
+        self,
+        name: str,
+        synthesized: bool,
+        free_signals: FrozenSet[str],
+        free_variables: FrozenSet[str],
+        declared_variables: Tuple[str, ...],
+    ):
+        self.name = name
+        self.synthesized = synthesized
+        self.variables = {variable: None for variable in declared_variables}
+        self._free_signals = free_signals
+        self._free_variables = free_variables
+
+    def free_signals(self) -> FrozenSet[str]:
+        return self._free_signals
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self._free_variables
+
+
+class _RenamedTarget:
+    """Stand-in statement carrying only the renamed assignment target."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str):
+        self.target = target
+
+
+#: Shared placeholder statement for blocks whose statement is never consumed.
+_NO_STATEMENT = ast.Null()
+
+
+class LinkedProgramCFG:
+    """A :class:`~repro.cfg.builder.ProgramCFG`-shaped view of linked summaries.
+
+    Interface-compatible with the consumers of the link-time stages
+    (reaching definitions, specialisation, closure, rendering), with the
+    lookups the real class answers by scanning — ``process_of_label`` and the
+    cross-flow predicates — precomputed to O(1), which is what keeps linking
+    cheap at thousands of processes.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        processes: Dict[str, ProcessCFG],
+        variable_count: int,
+    ):
+        self.design = design
+        self.processes = processes
+        self._order = list(processes)
+        self._variable_count = variable_count
+        owner: Dict[int, str] = {}
+        blocks: Dict[int, Block] = {}
+        waits: Set[int] = set()
+        for name, cfg in processes.items():
+            for label in cfg.blocks:
+                owner[label] = name
+            blocks.update(cfg.blocks)
+            waits |= cfg.wait_labels
+        self._owner = owner
+        self._blocks = blocks
+        self._labels = frozenset(blocks)
+        self._wait_labels = frozenset(waits)
+        self._empty_wait_processes = sum(
+            1 for cfg in processes.values() if not cfg.wait_labels
+        )
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def process_order(self) -> List[str]:
+        return list(self._order)
+
+    @property
+    def blocks(self) -> Dict[int, Block]:
+        return self._blocks
+
+    @property
+    def labels(self) -> FrozenSet[int]:
+        return self._labels
+
+    def block(self, label: int) -> Block:
+        return self._blocks[label]
+
+    def process_of_label(self, label: int) -> str:
+        return self._owner[label]
+
+    def cfg_of_label(self, label: int) -> ProcessCFG:
+        return self.processes[self._owner[label]]
+
+    # -- wait statements and cross flow -------------------------------------
+
+    @property
+    def wait_labels(self) -> FrozenSet[int]:
+        return self._wait_labels
+
+    def wait_labels_of(self, process_name: str) -> FrozenSet[int]:
+        return self.processes[process_name].wait_labels
+
+    @property
+    def has_empty_wait_process(self) -> bool:
+        """True when some process never waits (the cross-flow relation ``cf``
+        is then empty, and every Table 5 wait kill/gen set is ``∅``)."""
+        return self._empty_wait_processes > 0
+
+    def label_occurs_in_cross_flow(self, label: int) -> bool:
+        # A wait label's owner has a wait by definition, so "every other
+        # process has a wait" is "no process is wait-free".
+        return label in self._wait_labels and self._empty_wait_processes == 0
+
+    def labels_cooccur_in_cross_flow(self, label_a: int, label_b: int) -> bool:
+        if label_a not in self._wait_labels or label_b not in self._wait_labels:
+            return False
+        if self._owner[label_a] == self._owner[label_b] and label_a != label_b:
+            return False
+        return self._empty_wait_processes == 0
+
+    # -- statistics ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """The statistics the flat :class:`ProgramCFG` would report.
+
+        ``variables`` counts declared variables per process (the flat
+        ``Design.variable_names()`` keeps per-process duplicates), which the
+        linked design reconstructs from the summaries.
+        """
+        return {
+            "processes": len(self.processes),
+            "labels": len(self._blocks),
+            "flow_edges": sum(len(cfg.flow) for cfg in self.processes.values()),
+            "wait_labels": len(self._wait_labels),
+            "signals": len(self.design.signals),
+            "variables": self._variable_count,
+        }
+
+
+@dataclass(frozen=True)
+class _Placement:
+    """One process summary placed into the flat design."""
+
+    summary: ProcessSummary
+    rename: Rename
+    flat_name: str
+    offset: int
+
+
+# ---------------------------------------------------------------------------
+# Composition
+# ---------------------------------------------------------------------------
+
+
+def _flat_signals(
+    hierarchy: DesignHierarchy, root: HierarchyUnit
+) -> Dict[str, SignalInfo]:
+    """The flat signal table, in the order flat elaboration would build it."""
+    signals: Dict[str, SignalInfo] = {}
+
+    def add(name: str, info: SignalInfo) -> None:
+        if name in signals:
+            raise HierarchyError(
+                f"linked design {root.entity.name!r}: duplicate signal {name!r}"
+            )
+        signals[name] = info
+
+    for port in root.entity.ports:
+        add(
+            port.name,
+            SignalInfo(
+                name=port.name,
+                sig_type=port.port_type,
+                is_port=True,
+                mode=port.mode,
+            ),
+        )
+
+    def collect(unit: HierarchyUnit, rename: Rename) -> None:
+        for decl in unit.signals:
+            name = rename(decl.name)
+            add(
+                name,
+                SignalInfo(name=name, sig_type=decl.sig_type, initial=decl.initial),
+            )
+        for item in unit.items:
+            if isinstance(item, Instance):
+                collect(
+                    hierarchy.unit_of(item.entity), instance_rename(item, rename)
+                )
+
+    collect(root, _identity)
+    return signals
+
+
+def _place_processes(
+    hierarchy: DesignHierarchy,
+    root: HierarchyUnit,
+    summaries: Dict[str, EntitySummary],
+) -> List[_Placement]:
+    """Walk the instantiation tree in flat process order, assigning each
+    process its flat name, rename and label offset."""
+    placements: List[_Placement] = []
+    next_label = 1  # the flat LabelAllocator starts at 1
+
+    def walk(unit: HierarchyUnit, rename: Rename, prefix: str) -> None:
+        nonlocal next_label
+        summary = summaries[unit.name.lower()]
+        leaf_index = 0
+        for item in unit.items:
+            if isinstance(item, Instance):
+                walk(
+                    hierarchy.unit_of(item.entity),
+                    instance_rename(item, rename),
+                    prefix + item.label + "__",
+                )
+            else:
+                process = summary.processes[leaf_index]
+                leaf_index += 1
+                offset = next_label - process.label_base
+                next_label += process.label_span
+                placements.append(
+                    _Placement(process, rename, prefix + process.name, offset)
+                )
+
+    walk(root, _identity, "")
+    return placements
+
+
+def _compose(
+    hierarchy: DesignHierarchy,
+    summaries: Dict[str, EntitySummary],
+    options: AnalysisOptions,
+    universe: Optional[FactUniverse],
+) -> AnalysisResult:
+    root = hierarchy.root_unit
+    signals = _flat_signals(hierarchy, root)
+    placements = _place_processes(hierarchy, root, summaries)
+    if not placements:
+        raise HierarchyError(
+            f"linked design {root.entity.name!r} contains no processes"
+        )
+
+    in_ports = {
+        port.name for port in root.entity.ports if port.mode is ast.PortMode.IN
+    }
+
+    processes: Dict[str, ProcessCFG] = {}
+    active: Dict[str, ActiveSignalsResult] = {}
+    variable_count = 0
+
+    for placed in placements:
+        ps, rename, name, offset = (
+            placed.summary,
+            placed.rename,
+            placed.flat_name,
+            placed.offset,
+        )
+        if name in processes:
+            raise HierarchyError(
+                f"linked design {root.entity.name!r}: duplicate process "
+                f"name {name!r}"
+            )
+        for variable in ps.declared_variables:
+            renamed = rename(variable)
+            if renamed in signals:
+                raise HierarchyError(
+                    f"linked design {root.entity.name!r}: variable {renamed!r} "
+                    f"of process {name!r} shadows a signal"
+                )
+        variable_count += len(ps.declared_variables)
+
+        blocks: Dict[int, Block] = {}
+        for label, kind_name, target in ps.blocks:
+            kind = BlockKind[kind_name]
+            if target is not None:
+                renamed_target = rename(target)
+                if kind is BlockKind.SIGNAL_ASSIGN and renamed_target in in_ports:
+                    # Parity with flat elaboration's mode check after renaming
+                    # a written child port onto a root input port.
+                    raise HierarchyError(
+                        f"process {name!r} assigns to input port "
+                        f"{renamed_target!r}"
+                    )
+                statement = _RenamedTarget(renamed_target)
+            else:
+                statement = _NO_STATEMENT
+            flat_label = label + offset
+            blocks[flat_label] = Block(
+                label=flat_label,
+                kind=kind,
+                statement=statement,
+                process_name=name,
+            )
+
+        entry_label = ps.entry_label + offset
+        loop_label = ps.loop_label + offset
+        process = _LinkedProcess(
+            name=name,
+            synthesized=ps.synthesized,
+            free_signals=frozenset(rename(s) for s in ps.free_signals),
+            free_variables=frozenset(rename(v) for v in ps.free_variables),
+            declared_variables=tuple(rename(v) for v in ps.declared_variables),
+        )
+        processes[name] = ProcessCFG(
+            process=process,
+            entry_label=entry_label,
+            loop_label=loop_label,
+            blocks=blocks,
+            flow={(a + offset, b + offset) for a, b in ps.flow},
+            wait_labels=frozenset(w + offset for w in ps.wait_labels),
+            body_labels=frozenset(blocks) - {entry_label, loop_label},
+        )
+        active[name] = ActiveSignalsResult(
+            process_name=name,
+            over_entry={
+                label + offset: frozenset((rename(s), d + offset) for s, d in pairs)
+                for label, pairs in ps.over_entry
+            },
+            over_exit={},
+            under_entry={
+                label + offset: frozenset((rename(s), d + offset) for s, d in pairs)
+                for label, pairs in ps.under_entry
+            },
+            under_exit={},
+        )
+
+    design = Design(
+        name=root.entity.name,
+        entity_name=root.entity.name,
+        architecture_name=root.architecture.name,
+        signals=signals,
+        processes=[],
+    )
+    program_cfg = LinkedProgramCFG(design, processes, variable_count)
+
+    # Table 6 union: re-intern every stored local row under its renaming.
+    rm_universe = universe if universe is not None else FactUniverse()
+    rm_lo = ResourceMatrix(universe=rm_universe)
+    encode = rm_universe.encode
+    for placed in placements:
+        rename, offset = placed.rename, placed.offset
+        for label, m0, m1, r0, r1 in placed.summary.local_rows:
+            flat_label = label + offset
+            for access, names in (
+                (Access.M0, m0),
+                (Access.M1, m1),
+                (Access.R0, r0),
+                (Access.R1, r1),
+            ):
+                if names:
+                    rm_lo.or_bits(
+                        flat_label, access, encode(rename(n) for n in names)
+                    )
+
+    # Table 5, solved per process: the flow relation has no cross-process
+    # edges, so the whole-program least solution is exactly the union of the
+    # per-process least solutions — and per-process instances keep the
+    # dataflow engine's bitsets narrow.  Cross-process coupling enters only
+    # through the wait kill/gen sets, computed by the original Table 5
+    # combinators against the composed facade; when some process never waits
+    # those sets are empty by the combinators' own cross-flow guard, which
+    # the facade answers in O(1).
+    skip_wait_sets = program_cfg.has_empty_wait_process
+    entry: Dict[int, FrozenSet[Tuple[str, int]]] = {}
+    exit_: Dict[int, FrozenSet[Tuple[str, int]]] = {}
+    empty: FrozenSet[Tuple[str, int]] = frozenset()
+    for name, cfg in processes.items():
+        kill: Dict[int, FrozenSet[Tuple[str, int]]] = {}
+        gen: Dict[int, FrozenSet[Tuple[str, int]]] = {}
+        for label, block in cfg.blocks.items():
+            if block.kind is BlockKind.WAIT and skip_wait_sets:
+                kill[label] = empty
+                gen[label] = empty
+            else:
+                kill[label] = kill_rd(
+                    block, cfg, program_cfg, active, options.use_under_approximation
+                )
+                gen[label] = gen_rd(block, program_cfg, active)
+        solution = solve(
+            DataflowInstance(
+                labels=frozenset(cfg.blocks),
+                flow=frozenset(cfg.flow),
+                extremal_labels=frozenset({cfg.entry_label}),
+                extremal_value={cfg.entry_label: initial_definitions(cfg)},
+                kill=kill,
+                gen=gen,
+                join_mode=JoinMode.UNION,
+            )
+        )
+        entry.update(solution.entry)
+        exit_.update(solution.exit)
+    reaching = ReachingDefinitionsResult(entry=entry, exit=exit_)
+
+    # Tables 7–9: the original cross-process stages, unchanged.
+    specialized = specialize(program_cfg, rm_lo, active, reaching)
+    if options.improved:
+        closure = improved_global_resource_matrix(
+            program_cfg, rm_lo, specialized, design
+        )
+    else:
+        closure = global_resource_matrix(program_cfg, rm_lo, specialized)
+    graph = FlowGraph.from_resource_matrix(closure.rm_global)
+
+    return AnalysisResult(
+        design=design,
+        program_cfg=program_cfg,
+        active=active,
+        reaching=reaching,
+        rm_local=rm_lo,
+        specialized=specialized,
+        rm_global=closure.rm_global,
+        graph=graph,
+        improved=options.improved,
+        outgoing_labels=getattr(closure, "outgoing_labels", {}),
+        universe=rm_universe,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def link_hierarchy(
+    program: ast.Program,
+    options: Optional[AnalysisOptions] = None,
+    cache=None,
+    universe: Optional[FactUniverse] = None,
+    hierarchy: Optional[DesignHierarchy] = None,
+) -> PipelineResult:
+    """Analyse a hierarchical program by summary linking.
+
+    Returns a :class:`~repro.pipeline.artifacts.PipelineResult` with stages
+    ``summary`` (cached when *every* entity summary was served from ``cache``)
+    and ``link``; its documents are byte-identical to the flattened route's.
+    ``options.entity`` selects the hierarchy root; ``universe`` optionally
+    pins the fact universe the composed matrices intern into.
+    """
+    if options is None:
+        options = AnalysisOptions()
+    start = time.perf_counter()
+    if hierarchy is None:
+        hierarchy = build_hierarchy(program, options.entity)
+    summaries: Dict[str, EntitySummary] = {}
+    all_cached = True
+    for name in hierarchy.order:
+        unit = hierarchy.unit_of(name)
+        summary, from_cache = summarize_entity(
+            unit, loop_processes=options.loop_processes, cache=cache
+        )
+        summaries[name.lower()] = summary
+        all_cached = all_cached and from_cache
+    summary_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = _compose(hierarchy, summaries, options, universe)
+    link_seconds = time.perf_counter() - start
+
+    return PipelineResult(
+        options=options,
+        stages=[
+            StageTiming("summary", summary_seconds, cached=all_cached),
+            StageTiming("link", link_seconds),
+        ],
+        result=result,
+    )

@@ -1,0 +1,257 @@
+"""Reusable per-entity analysis summaries for the compositional linker.
+
+An :class:`EntitySummary` captures everything the linker needs to place one
+entity's processes into a larger design *without re-analysing them*:
+
+* the shape of each process CFG (block kinds, flow edges, wait labels) in the
+  labelling the entity receives when analysed standalone — per-process labels
+  are allocator-contiguous, so the linker relocates a whole process by adding
+  one offset;
+* the per-process stages of the paper that are closed under renaming: the
+  Table 4 active-signals solutions and the Table 6 local Resource Matrix rows
+  (stored name-decoded, since the linker re-interns them into the whole-design
+  fact universe under the instance's renaming);
+* the free/declared name sets the cross-process stages (Table 5 and the
+  Table 7–9 specialisation/closure, which run at link time) start from.
+
+Summaries are content-addressed by the entity's *self slice* — the entity and
+its architecture's own signals and leaf statements, with component
+declarations and instantiations removed — so editing one entity of a design
+invalidates exactly that entity's summary, and two textually identical
+entities in different files share one.  They persist through the ordinary
+artifact caches under ``summary:``-prefixed keys (landing in
+``<cache-dir>/summary/`` next to the pipeline's stage artifacts).
+
+Of the analysis options only ``loop_processes`` shapes a summary (it changes
+the CFG wrapping); ``improved`` and ``use_under_approximation`` configure
+link-time stages and deliberately do not key summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.analysis.local_deps import local_dependencies
+from repro.analysis.reaching_active import analyze_active_signals
+from repro.analysis.resource_matrix import Access
+from repro.cfg.builder import ProcessCFG, build_cfg
+from repro.hier.structure import HierarchyUnit
+from repro.pipeline.cache import source_digest
+from repro.vhdl import ast, pretty
+from repro.vhdl.elaborate import elaborate
+
+#: Bumped when the summary layout changes, so stale cached pickles miss.
+SUMMARY_FORMAT = 1
+
+#: ``(label, sorted (name, label) pairs)`` rows of one dataflow solution.
+ActiveRows = Tuple[Tuple[int, Tuple[Tuple[str, int], ...]], ...]
+
+
+@dataclass(frozen=True)
+class ProcessSummary:
+    """One process of an entity, as analysed standalone.
+
+    All labels are the absolute labels of the standalone run; they occupy the
+    allocator span ``[label_base, label_base + label_span)`` (the span always
+    counts the synthetic loop-guard label, which straight-line CFGs allocate
+    but do not use), so relocation is a single integer offset.
+    """
+
+    name: str
+    synthesized: bool
+    label_base: int
+    label_span: int
+    entry_label: int
+    loop_label: int
+    #: ``(label, BlockKind name, assignment target or None)`` per block.
+    blocks: Tuple[Tuple[int, str, Optional[str]], ...]
+    flow: Tuple[Tuple[int, int], ...]
+    wait_labels: Tuple[int, ...]
+    free_signals: Tuple[str, ...]
+    free_variables: Tuple[str, ...]
+    declared_variables: Tuple[str, ...]
+    #: ``(label, M0 names, M1 names, R0 names, R1 names)`` — the Table 6 rows.
+    local_rows: Tuple[
+        Tuple[int, Tuple[str, ...], Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]],
+        ...,
+    ]
+    #: Table 4 entry solutions (exit values are not consumed by any linked
+    #: stage, so they are not stored).
+    over_entry: ActiveRows
+    under_entry: ActiveRows
+
+
+@dataclass(frozen=True)
+class EntitySummary:
+    """The linkable analysis summary of one entity."""
+
+    entity: str
+    ports: Tuple[Tuple[str, str], ...]
+    internal_signals: Tuple[str, ...]
+    processes: Tuple[ProcessSummary, ...]
+    label_span: int
+    source_digest: str
+
+
+# ---------------------------------------------------------------------------
+# Self slice and cache key
+# ---------------------------------------------------------------------------
+
+
+def entity_slice(unit: HierarchyUnit) -> ast.Program:
+    """The entity-local program of ``unit``: its own leaves, no instances.
+
+    Signal declarations hoisted out of blocks are kept (they are part of the
+    entity's own namespace); component declarations and instantiations are
+    dropped — they influence linking, not the entity-local analysis.
+    """
+    declarations = list(unit.signals) + list(unit.other_declarations)
+    architecture = ast.Architecture(
+        position=unit.architecture.position,
+        name=unit.architecture.name,
+        entity_name=unit.entity.name,
+        declarations=declarations,
+        body=list(unit.leaves),
+    )
+    return ast.Program(entities=[unit.entity], architectures=[architecture])
+
+
+def slice_source(unit: HierarchyUnit) -> str:
+    """The canonical source text of the self slice (the content address)."""
+    return pretty.format_program(entity_slice(unit))
+
+
+def summary_cache_key(unit: HierarchyUnit, loop_processes: bool = True) -> str:
+    """The artifact-cache key of ``unit``'s summary.
+
+    Keyed by the self-slice digest, the entity, ``loop_processes`` and the
+    summary format — and deliberately *not* by ``improved`` or
+    ``use_under_approximation``, which only configure link-time stages.
+    """
+    digest = source_digest(slice_source(unit))
+    return (
+        f"summary:v{SUMMARY_FORMAT}:{digest}:{unit.name.lower()}"
+        f":loop_processes={loop_processes!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Building
+# ---------------------------------------------------------------------------
+
+
+def _active_rows(solution: Dict[int, FrozenSet[Tuple[str, int]]]) -> ActiveRows:
+    return tuple(
+        (label, tuple(sorted(pairs))) for label, pairs in sorted(solution.items())
+    )
+
+
+def _summarize_process(cfg: ProcessCFG) -> ProcessSummary:
+    labels = sorted(cfg.blocks)
+    base = labels[0]
+    span = len(cfg.body_labels) + 2  # body + entry + (possibly unused) guard
+    if labels[-1] >= base + span:
+        raise AssertionError(
+            f"process {cfg.name!r}: labels {labels} exceed allocator span "
+            f"[{base}, {base + span})"
+        )
+
+    blocks = []
+    for label in labels:
+        block = cfg.blocks[label]
+        target = (
+            block.statement.target
+            if block.kind.name in ("VARIABLE_ASSIGN", "SIGNAL_ASSIGN")
+            else None
+        )
+        blocks.append((label, block.kind.name, target))
+
+    active = analyze_active_signals(cfg)
+    matrix = local_dependencies(cfg.process)
+    columns = {access: matrix.column(access) for access in Access}
+    row_labels = sorted(set().union(*(col.keys() for col in columns.values())))
+    decode = matrix.universe.decode_list
+    local_rows = tuple(
+        (
+            label,
+            tuple(sorted(decode(columns[Access.M0].get(label, 0)))),
+            tuple(sorted(decode(columns[Access.M1].get(label, 0)))),
+            tuple(sorted(decode(columns[Access.R0].get(label, 0)))),
+            tuple(sorted(decode(columns[Access.R1].get(label, 0)))),
+        )
+        for label in row_labels
+    )
+
+    return ProcessSummary(
+        name=cfg.name,
+        synthesized=cfg.process.synthesized,
+        label_base=base,
+        label_span=span,
+        entry_label=cfg.entry_label,
+        loop_label=cfg.loop_label,
+        blocks=tuple(blocks),
+        flow=tuple(sorted(cfg.flow)),
+        wait_labels=tuple(sorted(cfg.wait_labels)),
+        free_signals=tuple(sorted(cfg.process.free_signals())),
+        free_variables=tuple(sorted(cfg.process.free_variables())),
+        declared_variables=tuple(cfg.process.variables),
+        local_rows=local_rows,
+        over_entry=_active_rows(active.over_entry),
+        under_entry=_active_rows(active.under_entry),
+    )
+
+
+def _build_summary(unit: HierarchyUnit, loop_processes: bool, digest: str) -> EntitySummary:
+    ports = tuple((port.name, port.mode.value) for port in unit.entity.ports)
+    internal = tuple(decl.name for decl in unit.signals)
+    if not unit.leaves:
+        # Purely structural entity: nothing to elaborate (the flat pipeline
+        # requires at least one process, which this entity's instances supply).
+        return EntitySummary(
+            entity=unit.entity.name,
+            ports=ports,
+            internal_signals=internal,
+            processes=(),
+            label_span=0,
+            source_digest=digest,
+        )
+    design = elaborate(entity_slice(unit))
+    program_cfg = build_cfg(design, loop_processes=loop_processes)
+    processes = tuple(
+        _summarize_process(program_cfg.processes[name])
+        for name in program_cfg.process_order
+    )
+    return EntitySummary(
+        entity=unit.entity.name,
+        ports=ports,
+        internal_signals=internal,
+        processes=processes,
+        label_span=sum(ps.label_span for ps in processes),
+        source_digest=digest,
+    )
+
+
+def summarize_entity(
+    unit: HierarchyUnit,
+    loop_processes: bool = True,
+    cache=None,
+) -> Tuple[EntitySummary, bool]:
+    """The summary of ``unit``, served from ``cache`` when possible.
+
+    Returns ``(summary, from_cache)``.  ``cache`` is any of the artifact
+    caches of :mod:`repro.pipeline.cache` (or ``None`` to always build).
+    """
+    digest = source_digest(slice_source(unit))
+    key = (
+        f"summary:v{SUMMARY_FORMAT}:{digest}:{unit.name.lower()}"
+        f":loop_processes={loop_processes!r}"
+    )
+    if cache is not None:
+        cached = cache.get(key)
+        if isinstance(cached, EntitySummary):
+            return cached, True
+    summary = _build_summary(unit, loop_processes, digest)
+    if cache is not None:
+        cache.put(key, summary)
+    return summary, False

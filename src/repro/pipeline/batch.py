@@ -46,6 +46,7 @@ from repro.pipeline.render import (
     select_graph,
     stamped,
 )
+from repro.hier.flatten import flatten_if_hierarchical
 from repro.pipeline.stages import PARSE, Pipeline, stage_key
 from repro.vhdl.parser import parse_program
 
@@ -269,6 +270,10 @@ def run_job(
         source = Path(job.path).read_text(encoding="utf-8")
         if job.entity is not None:
             options = dataclasses.replace(options, entity=job.entity)
+        # A hierarchical file is analysed as its flat equivalent (the entity,
+        # if any, selects the hierarchy root); flat files pass through without
+        # being re-parsed.  See docs/hierarchy.md.
+        source = flatten_if_hierarchical(source, options.entity)
         if policy is not None:
             report_options = {
                 "transitive": bool(getattr(policy, "transitive", False))
@@ -338,10 +343,18 @@ def _init_worker(cache_dir: Optional[str] = None, no_cache: bool = False) -> Non
 
 
 def _run_job_in_worker(payload) -> BatchItem:
-    job, options, collapse, self_loops, dot, policy, lint = payload
+    job, options, collapse, self_loops, dot, policy, lint, preparsed = payload
     # The job path is the fault trigger text, so a test can crash or delay
     # exactly one job of a batch.
     process_injector().before_analysis(job.path)
+    if preparsed is not None and _WORKER_PIPELINE.cache is not None:
+        # The driver pre-parsed this job's file (it backs several jobs of the
+        # batch) and shipped the parse artifact; seed it under its pipeline
+        # stage key so this worker's run skips the parse stage.
+        digest, program = preparsed
+        _WORKER_PIPELINE.cache.put(
+            stage_key(PARSE, digest, AnalysisOptions()), program
+        )
     return run_job(
         job,
         options,
@@ -357,6 +370,40 @@ def _run_job_in_worker(payload) -> BatchItem:
 def default_workers() -> int:
     """The default pool size: one worker per available CPU."""
     return os.cpu_count() or 1
+
+
+def _shared_parses(
+    jobs: Sequence[BatchJob], cache: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Pre-parse every file that backs more than one job of a parallel batch.
+
+    Returns ``path -> (source digest, parsed program)`` for those files, to
+    be shipped inside the job payloads and seeded into each worker's cache —
+    without this, an ``all_entities`` batch over an 8-entity file parses the
+    identical source once per entity job *per worker*.  ``cache`` is the
+    driver-side cache that :func:`expand_jobs` seeded, so expansion's parse
+    is reused here rather than redone.  Unreadable or unparsable files are
+    skipped; their jobs surface the error individually.
+    """
+    counts: Dict[str, int] = {}
+    for job in jobs:
+        counts[job.path] = counts.get(job.path, 0) + 1
+    shared: Dict[str, Any] = {}
+    for path, count in counts.items():
+        if count < 2:
+            continue
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+            digest = source_digest(source)
+            program = None
+            if cache is not None:
+                program = cache.get(stage_key(PARSE, digest, AnalysisOptions()))
+            if program is None:
+                program = parse_program(source)
+            shared[path] = (digest, program)
+        except _JOB_ERRORS:
+            continue
+    return shared
 
 
 def _pool_results(
@@ -408,10 +455,12 @@ def run_batch(
     """Analyse every job; results come back in submission order.
 
     ``parallel=True`` fans out over a process pool (``max_workers`` defaults
-    to the CPU count; in-memory caches are then per worker process and
-    ``cache`` is ignored, but with ``cache_dir`` every worker shares the
-    persistent :class:`~repro.pipeline.cache.DiskArtifactCache` rooted
-    there, and ``no_cache=True`` gives the workers no cache at all).
+    to the CPU count; in-memory caches are then per worker process, though
+    files backing several jobs are parsed once on the driver — reusing
+    ``cache`` when :func:`expand_jobs` seeded it — and the parse artifacts
+    shipped to the workers; with ``cache_dir`` every worker additionally
+    shares the persistent :class:`~repro.pipeline.cache.DiskArtifactCache`
+    rooted there, and ``no_cache=True`` gives the workers no cache at all).
     ``parallel=False`` runs in-process, threading ``cache`` through every
     job — run two batches over the same cache and the second one is served
     from warm artifacts.  When no ``cache`` is supplied (and ``no_cache`` is
@@ -433,8 +482,23 @@ def run_batch(
         workers = max_workers if max_workers is not None else default_workers()
         workers = max(1, min(workers, len(job_list) or 1))
         report.workers = workers
+        # Parse each multi-job file once on the driver (reusing the parse
+        # that expand_jobs left in ``cache`` when the caller threaded it
+        # through) and ship the program with every job touching that file;
+        # each worker seeds its own cache from the payload instead of
+        # re-parsing per job.
+        preparsed = {} if no_cache else _shared_parses(job_list, cache)
         payloads = [
-            (job, options, collapse, self_loops, dot, policy, lint)
+            (
+                job,
+                options,
+                collapse,
+                self_loops,
+                dot,
+                policy,
+                lint,
+                preparsed.get(job.path),
+            )
             for job in job_list
         ]
         results = _pool_results(payloads, workers, cache_dir, no_cache)

@@ -1,0 +1,167 @@
+"""Targeted structural cloning of VHDL1 AST fragments.
+
+Elaboration mutates statement bodies in place (name-kind resolution, slice
+normalisation, label stamping), so the parse artifact must never be handed to
+a :class:`~repro.vhdl.elaborate.Elaborator` directly — it needs a private
+copy.  ``copy.deepcopy`` does that job correctly but dominates the cold
+elaborate profile: its generic memo machinery visits every dataclass field,
+including the immutable ``SourcePosition`` objects that are perfectly safe to
+share.  The cloners here walk the closed VHDL1 node set explicitly, share
+positions (frozen dataclasses) and copy everything mutable.
+
+An optional ``rename`` hook rewrites every identifier occurrence — assignment
+targets, wait sensitivity lists, and name references inside expressions.  The
+hierarchy flattener uses it to inline instantiated bodies under per-instance
+signal/variable names; plain elaboration passes no hook and gets a verbatim
+structural copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.vhdl import ast
+
+#: Identity used when no rename hook is supplied.
+Rename = Callable[[str], str]
+
+
+def _keep(name: str) -> str:
+    return name
+
+
+def clone_expression(
+    expr: ast.Expression, rename: Optional[Rename] = None
+) -> ast.Expression:
+    """Clone an expression tree, optionally renaming identifiers."""
+    rename = rename or _keep
+    return _clone_expr(expr, rename)
+
+
+def _clone_expr(expr: ast.Expression, rename: Rename) -> ast.Expression:
+    if isinstance(expr, ast.Name):
+        return ast.Name(
+            position=expr.position, ident=rename(expr.ident), kind=expr.kind
+        )
+    if isinstance(expr, ast.SliceName):
+        return ast.SliceName(
+            position=expr.position,
+            ident=rename(expr.ident),
+            left=expr.left,
+            right=expr.right,
+            direction=expr.direction,
+            kind=expr.kind,
+        )
+    if isinstance(expr, ast.LogicLiteral):
+        return ast.LogicLiteral(position=expr.position, value=expr.value)
+    if isinstance(expr, ast.VectorLiteral):
+        return ast.VectorLiteral(position=expr.position, value=expr.value)
+    if isinstance(expr, ast.IntegerLiteral):
+        return ast.IntegerLiteral(position=expr.position, value=expr.value)
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(
+            position=expr.position,
+            operator=expr.operator,
+            operand=_clone_expr(expr.operand, rename),
+        )
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            position=expr.position,
+            operator=expr.operator,
+            left=_clone_expr(expr.left, rename),
+            right=_clone_expr(expr.right, rename),
+        )
+    raise TypeError(f"cannot clone expression node {type(expr).__name__}")
+
+
+def _clone_optional_expr(
+    expr: Optional[ast.Expression], rename: Rename
+) -> Optional[ast.Expression]:
+    return None if expr is None else _clone_expr(expr, rename)
+
+
+def clone_statement(
+    stmt: ast.Statement, rename: Optional[Rename] = None
+) -> ast.Statement:
+    """Clone one sequential statement (recursively), optionally renaming."""
+    rename = rename or _keep
+    return _clone_stmt(stmt, rename)
+
+
+def _clone_stmt(stmt: ast.Statement, rename: Rename) -> ast.Statement:
+    if isinstance(stmt, ast.Null):
+        return ast.Null(position=stmt.position, label=stmt.label)
+    if isinstance(stmt, ast.VariableAssign):
+        return ast.VariableAssign(
+            position=stmt.position,
+            label=stmt.label,
+            target=rename(stmt.target),
+            target_slice=stmt.target_slice,
+            value=_clone_expr(stmt.value, rename),
+        )
+    if isinstance(stmt, ast.SignalAssign):
+        return ast.SignalAssign(
+            position=stmt.position,
+            label=stmt.label,
+            target=rename(stmt.target),
+            target_slice=stmt.target_slice,
+            value=_clone_expr(stmt.value, rename),
+        )
+    if isinstance(stmt, ast.Wait):
+        return ast.Wait(
+            position=stmt.position,
+            label=stmt.label,
+            signals=tuple(rename(name) for name in stmt.signals),
+            condition=_clone_optional_expr(stmt.condition, rename),
+        )
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            position=stmt.position,
+            label=stmt.label,
+            condition=_clone_expr(stmt.condition, rename),
+            then_branch=[_clone_stmt(s, rename) for s in stmt.then_branch],
+            else_branch=[_clone_stmt(s, rename) for s in stmt.else_branch],
+        )
+    if isinstance(stmt, ast.While):
+        return ast.While(
+            position=stmt.position,
+            label=stmt.label,
+            condition=_clone_expr(stmt.condition, rename),
+            body=[_clone_stmt(s, rename) for s in stmt.body],
+        )
+    raise TypeError(f"cannot clone statement node {type(stmt).__name__}")
+
+
+def clone_statements(
+    statements: Sequence[ast.Statement], rename: Optional[Rename] = None
+) -> List[ast.Statement]:
+    """Clone a statement list, optionally renaming identifiers throughout."""
+    rename = rename or _keep
+    return [_clone_stmt(stmt, rename) for stmt in statements]
+
+
+def clone_declaration(
+    decl: ast.Declaration, rename: Optional[Rename] = None
+) -> ast.Declaration:
+    """Clone a variable/signal declaration, optionally renaming its name.
+
+    The declared type is shared: elaboration replaces ``to``-ranged types via
+    :meth:`~repro.vhdl.ast.StdLogicVectorType.normalized` (a fresh node) rather
+    than mutating them, so sharing is safe.
+    """
+    rename = rename or _keep
+    if isinstance(decl, ast.VariableDeclaration):
+        return ast.VariableDeclaration(
+            position=decl.position,
+            name=rename(decl.name),
+            var_type=decl.var_type,
+            initial=_clone_optional_expr(decl.initial, rename),
+        )
+    if isinstance(decl, ast.SignalDeclaration):
+        return ast.SignalDeclaration(
+            position=decl.position,
+            name=rename(decl.name),
+            sig_type=decl.sig_type,
+            initial=_clone_optional_expr(decl.initial, rename),
+        )
+    raise TypeError(f"cannot clone declaration node {type(decl).__name__}")

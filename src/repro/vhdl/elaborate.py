@@ -21,12 +21,12 @@ signals) and a list of :class:`Process` objects with resolved bodies.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ElaborationError
 from repro.vhdl import ast
+from repro.vhdl.clone import clone_statement, clone_statements
 
 
 @dataclass
@@ -262,6 +262,12 @@ class Elaborator:
             raise ElaborationError(
                 f"variable {decl.name!r} declared outside a process"
             )
+        if isinstance(decl, ast.ComponentDeclaration):
+            raise ElaborationError(
+                f"component {decl.name!r} cannot be elaborated flat; analyse "
+                "the design through the hierarchy layer (repro.hier) or "
+                "flatten it first"
+            )
         if not isinstance(decl, ast.SignalDeclaration):
             raise ElaborationError(f"unsupported declaration {decl!r}")
         if decl.name in self._signals:
@@ -296,6 +302,12 @@ class Elaborator:
             self._processes.append(self._rewrite_concurrent_assign(stmt))
         elif isinstance(stmt, ast.ProcessStatement):
             self._processes.append(self._elaborate_process(stmt))
+        elif isinstance(stmt, ast.ComponentInstantiation):
+            raise ElaborationError(
+                f"component instantiation {stmt.label!r} cannot be elaborated "
+                "flat; analyse the design through the hierarchy layer "
+                "(repro.hier) or flatten it first"
+            )
         else:
             raise ElaborationError(
                 f"unsupported concurrent statement {type(stmt).__name__}"
@@ -303,7 +315,7 @@ class Elaborator:
 
     def _rewrite_concurrent_assign(self, stmt: ast.ConcurrentAssign) -> Process:
         """``s <= e`` becomes a process assigning then waiting on ``FS(e)``."""
-        assignment = copy.deepcopy(stmt.assignment)
+        assignment = clone_statement(stmt.assignment)
         self._synth_counter += 1
         name = f"concurrent_{self._synth_counter}"
         sensitivity = sorted(
@@ -347,7 +359,7 @@ class Elaborator:
             variables[decl.name] = VariableInfo(
                 name=decl.name, var_type=normalized, initial=decl.initial
             )
-        body = copy.deepcopy(stmt.body)
+        body = clone_statements(stmt.body)
         if stmt.sensitivity:
             # standard VHDL equivalence: sensitivity list == trailing wait on
             body.append(

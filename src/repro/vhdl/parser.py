@@ -254,9 +254,42 @@ class Parser:
 
     def _parse_declarations(self) -> List[ast.Declaration]:
         declarations: List[ast.Declaration] = []
-        while self._check_keyword("variable") or self._check_keyword("signal"):
-            declarations.append(self._parse_declaration())
+        while (
+            self._check_keyword("variable")
+            or self._check_keyword("signal")
+            or self._check_keyword("component")
+        ):
+            if self._check_keyword("component"):
+                declarations.append(self._parse_component_declaration())
+            else:
+                declarations.append(self._parse_declaration())
         return declarations
+
+    def _parse_component_declaration(self) -> ast.ComponentDeclaration:
+        # component NAME [is] port( ... ); end component [NAME];
+        start = self._expect_keyword("component")
+        name = self._expect_identifier("component name").text
+        self._match_keyword("is")
+        ports: List[ast.Port] = []
+        if self._check_keyword("port"):
+            self._advance()
+            self._expect(TokenKind.LPAREN, "'('")
+            ports = self._parse_port_list()
+            self._expect(TokenKind.RPAREN, "')'")
+            self._expect(TokenKind.SEMICOLON, "';'")
+        self._expect_keyword("end")
+        self._expect_keyword("component")
+        if self._check(TokenKind.IDENTIFIER):
+            closing = self._advance().text
+            if closing != name:
+                raise ParseError(
+                    f"component closing name {closing!r} does not match {name!r}",
+                    start.position,
+                )
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ComponentDeclaration(
+            position=start.position, name=name, ports=ports
+        )
 
     def _parse_declaration(self) -> ast.Declaration:
         token = self._peek()
@@ -301,6 +334,13 @@ class Parser:
             if self._check_keyword("process"):
                 return self._parse_process(label, token)
             return self._parse_block(label, token)
+        # labelled component instantiation:  name : component port map (...)
+        if (
+            self._check(TokenKind.IDENTIFIER)
+            and self._peek(1).kind is TokenKind.COLON
+            and self._peek(2).kind is TokenKind.IDENTIFIER
+        ):
+            return self._parse_instantiation()
         if self._check_keyword("process"):
             raise ParseError("process statements must carry a label", token.position)
         if self._check_keyword("block"):
@@ -308,6 +348,60 @@ class Parser:
         # otherwise: a concurrent signal assignment
         assignment = self._parse_signal_assignment_statement()
         return ast.ConcurrentAssign(position=token.position, assignment=assignment)
+
+    def _parse_instantiation(self) -> ast.ComponentInstantiation:
+        start = self._advance()  # instance label
+        self._advance()  # colon
+        component = self._expect_identifier("component name").text
+        self._expect_keyword("port")
+        self._expect_keyword("map")
+        self._expect(TokenKind.LPAREN, "'('")
+        associations: List[ast.PortAssociation] = []
+        seen_named = False
+        while True:
+            assoc_token = self._peek()
+            formal: Optional[str] = None
+            if (
+                self._check(TokenKind.IDENTIFIER)
+                and self._peek(1).kind is TokenKind.ARROW
+            ):
+                formal = self._advance().text
+                self._advance()  # =>
+                seen_named = True
+            elif seen_named:
+                raise ParseError(
+                    "positional association may not follow named association "
+                    "in a port map",
+                    assoc_token.position,
+                )
+            if not self._check(TokenKind.IDENTIFIER):
+                bad = self._peek()
+                raise ParseError(
+                    f"expected a signal name as port-map actual, found {bad.text!r}",
+                    bad.position,
+                )
+            actual = self._parse_name_expression()
+            if not isinstance(actual, ast.Name):
+                raise ParseError(
+                    "port-map actuals must be plain signal names (no slices)",
+                    actual.position,
+                )
+            associations.append(
+                ast.PortAssociation(
+                    actual=actual, formal=formal, position=assoc_token.position
+                )
+            )
+            if self._match(TokenKind.COMMA):
+                continue
+            break
+        self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.ComponentInstantiation(
+            position=start.position,
+            label=start.text,
+            component=component,
+            associations=associations,
+        )
 
     def _parse_process(self, label: str, start: Token) -> ast.ProcessStatement:
         self._expect_keyword("process")

@@ -66,6 +66,13 @@ def format_declaration(decl: ast.Declaration, indent: int = 0) -> str:
             f" := {format_expression(decl.initial)}" if decl.initial is not None else ""
         )
         return f"{pad}signal {decl.name} : {format_type(decl.sig_type)}{init};"
+    if isinstance(decl, ast.ComponentDeclaration):
+        ports = "; ".join(
+            f"{port.name} : {port.mode.value} {format_type(port.port_type)}"
+            for port in decl.ports
+        )
+        clause = f" port({ports});" if decl.ports else ""
+        return f"{pad}component {decl.name} is{clause} end component {decl.name};"
     raise TypeError(f"cannot pretty-print declaration {type(decl).__name__}")
 
 
@@ -143,6 +150,9 @@ def format_concurrent(stmt: ast.ConcurrentStatement, indent: int = 0) -> List[st
             lines.extend(format_concurrent(inner, indent + 1))
         lines.append(f"{pad}end block {stmt.name};")
         return lines
+    if isinstance(stmt, ast.ComponentInstantiation):
+        associations = ", ".join(str(assoc) for assoc in stmt.associations)
+        return [f"{pad}{stmt.label} : {stmt.component} port map ({associations});"]
     raise TypeError(f"cannot pretty-print concurrent statement {type(stmt).__name__}")
 
 

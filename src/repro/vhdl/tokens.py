@@ -55,6 +55,8 @@ KEYWORDS = frozenset(
         "to",
         "architecture",
         "of",
+        "component",
+        "map",
         "begin",
         "process",
         "block",

@@ -11,7 +11,10 @@ The module collects, as VHDL1 source text:
   (E5 in DESIGN.md);
 * a multi-entity batch family (many chain designs in one source file, or the
   full roster of named workloads) for the batch driver and its throughput
-  benchmarks.
+  benchmarks;
+* a hierarchical family (component instantiations of a register-cell leaf,
+  optionally through an intermediate bank level) for the summary linker of
+  :mod:`repro.hier` and its benchmarks.
 """
 
 from __future__ import annotations
@@ -289,6 +292,353 @@ def multi_entity_program(
         )
         for index in range(entities)
     )
+
+
+def register_cell_entity(name: str = "reg_cell", depth: int = 12) -> str:
+    """A register-cell leaf entity with a deliberately heavy process body.
+
+    The cell stores the (secret) data input ``d`` through a ``depth``-long
+    chain of temporaries when ``load`` is asserted, clears on ``clr``, and
+    exports the stored value on ``q``; ``status`` reflects only the public
+    ``load`` control, so a correct analysis keeps it independent of ``d``.
+    The long chain makes the per-entity stages (Tables 4 and 6) expensive
+    relative to the link-time stages — exactly the regime where analysing the
+    entity once and linking its summary per instance pays off.
+    """
+    if depth < 1:
+        raise ValueError("need at least one chained assignment")
+    lines: List[str] = [
+        f"entity {name} is",
+        "  port( d      : in std_logic_vector(7 downto 0);",
+        "        load   : in std_logic;",
+        "        clr    : in std_logic;",
+        "        q      : out std_logic_vector(7 downto 0);",
+        "        status : out std_logic );",
+        f"end {name};",
+        "",
+        f"architecture rtl of {name} is",
+        "  signal state : std_logic_vector(7 downto 0);",
+        "begin",
+        "  store : process",
+        "    variable tmp : std_logic_vector(7 downto 0);",
+        "    variable nxt : std_logic_vector(7 downto 0);",
+        "  begin",
+        "    tmp := d;",
+    ]
+    for index in range(depth):
+        lines.append(f'    tmp := tmp xor "0000000{index % 2}";')
+    lines.extend(
+        [
+            "    if clr = '1' then",
+            '      nxt := "00000000";',
+            "    else",
+            "      if load = '1' then",
+            "        nxt := tmp;",
+            "      else",
+            "        nxt := state;",
+            "      end if;",
+            "    end if;",
+            "    state <= nxt;",
+            "    wait on d, load, clr;",
+            "  end process store;",
+            "",
+            "  drive : process",
+            "  begin",
+            "    q <= state;",
+            "    status <= load;",
+            "    wait on state, load;",
+            "  end process drive;",
+            "end rtl;",
+        ]
+    )
+    return "\n".join(lines) + "\n"
+
+
+def hierarchical_register_file(
+    cells: int = 8,
+    depth: int = 12,
+    monitor: bool = True,
+    name: str = "regfile",
+) -> str:
+    """A register file instantiating ``cells`` copies of one register cell.
+
+    Every cell shares the secret data input ``din`` and the public ``wr`` /
+    ``clr`` controls and drives its own ``q_i`` / ``st_i`` signals; a collect
+    process folds a few cell outputs into ``dout``.  With ``monitor=True`` a
+    *wait-free* status process folds cell statuses into ``alive`` — a process
+    without wait statements empties the cross-flow relation (no label pair can
+    be active simultaneously at a wait), which keeps the cross-process stages
+    cheap even at 1000 instances.  ``monitor=False`` yields the fully
+    synchronising variant whose cross-flow relation is non-trivial.
+    """
+    if cells < 1:
+        raise ValueError("need at least one cell")
+    taps = sorted({0, cells // 2, cells - 1})
+    lines: List[str] = [
+        register_cell_entity(depth=depth),
+        f"entity {name} is",
+        "  port( din   : in std_logic_vector(7 downto 0);",
+        "        wr    : in std_logic;",
+        "        clr   : in std_logic;",
+        "        dout  : out std_logic_vector(7 downto 0);",
+        "        alive : out std_logic );",
+        f"end {name};",
+        "",
+        f"architecture banked of {name} is",
+        "  component reg_cell is",
+        "    port( d      : in std_logic_vector(7 downto 0);",
+        "          load   : in std_logic;",
+        "          clr    : in std_logic;",
+        "          q      : out std_logic_vector(7 downto 0);",
+        "          status : out std_logic );",
+        "  end component reg_cell;",
+    ]
+    for index in range(cells):
+        lines.append(f"  signal q_{index} : std_logic_vector(7 downto 0);")
+        lines.append(f"  signal st_{index} : std_logic;")
+    lines.append("begin")
+    for index in range(cells):
+        lines.append(
+            f"  cell_{index} : reg_cell port map "
+            f"(d => din, load => wr, clr => clr, "
+            f"q => q_{index}, status => st_{index});"
+        )
+    lines.extend(
+        [
+            "",
+            "  collect : process",
+            "    variable acc : std_logic_vector(7 downto 0);",
+            "  begin",
+            f"    acc := q_{taps[0]};",
+        ]
+    )
+    for tap in taps[1:]:
+        lines.append(f"    acc := acc xor q_{tap};")
+    lines.extend(
+        [
+            "    dout <= acc;",
+            "    wait on " + ", ".join(f"q_{tap}" for tap in taps) + ";",
+            "  end process collect;",
+            "",
+        ]
+    )
+    if monitor:
+        lines.extend(
+            [
+                "  monitor : process",
+                "    variable ok : std_logic;",
+                "  begin",
+                f"    ok := st_{taps[0]};",
+            ]
+        )
+        for tap in taps[1:]:
+            lines.append(f"    ok := ok or st_{tap};")
+        lines.extend(
+            [
+                "    alive <= ok;",
+                "  end process monitor;",
+            ]
+        )
+    else:
+        lines.extend(
+            [
+                "  alive_drive : process",
+                "  begin",
+                f"    alive <= st_{taps[-1]};",
+                f"    wait on st_{taps[-1]};",
+                "  end process alive_drive;",
+            ]
+        )
+    lines.append("end banked;")
+    return "\n".join(lines) + "\n"
+
+
+def hierarchical_bus_program(
+    banks: int = 2, cells_per_bank: int = 2, depth: int = 6
+) -> str:
+    """A three-level hierarchy: register cells inside banks inside a bus.
+
+    Each ``bank`` entity instantiates ``cells_per_bank`` register cells and
+    folds their outputs; the root instantiates ``banks`` banks and merges the
+    bank outputs.  Flat names compose across the levels
+    (``bank_1__cell_0__state``), which is what this family exists to
+    exercise — together with a mix of named and positional port maps.
+    """
+    if banks < 1 or cells_per_bank < 1:
+        raise ValueError("need at least one bank and one cell per bank")
+    lines: List[str] = [
+        register_cell_entity(depth=depth),
+        "entity bank is",
+        "  port( bd   : in std_logic_vector(7 downto 0);",
+        "        bctl : in std_logic;",
+        "        bq   : out std_logic_vector(7 downto 0);",
+        "        bst  : out std_logic );",
+        "end bank;",
+        "",
+        "architecture grouped of bank is",
+        "  component reg_cell is",
+        "    port( d      : in std_logic_vector(7 downto 0);",
+        "          load   : in std_logic;",
+        "          clr    : in std_logic;",
+        "          q      : out std_logic_vector(7 downto 0);",
+        "          status : out std_logic );",
+        "  end component reg_cell;",
+    ]
+    for index in range(cells_per_bank):
+        lines.append(f"  signal cq_{index} : std_logic_vector(7 downto 0);")
+        lines.append(f"  signal cs_{index} : std_logic;")
+    lines.append("begin")
+    for index in range(cells_per_bank):
+        # Alternate named and positional maps so both forms stay covered.
+        if index % 2 == 0:
+            lines.append(
+                f"  cell_{index} : reg_cell port map "
+                f"(d => bd, load => bctl, clr => bctl, "
+                f"q => cq_{index}, status => cs_{index});"
+            )
+        else:
+            lines.append(
+                f"  cell_{index} : reg_cell port map "
+                f"(bd, bctl, bctl, cq_{index}, cs_{index});"
+            )
+    lines.extend(
+        [
+            "",
+            "  fold : process",
+            "    variable acc : std_logic_vector(7 downto 0);",
+            "  begin",
+            "    acc := cq_0;",
+        ]
+    )
+    for index in range(1, cells_per_bank):
+        lines.append(f"    acc := acc xor cq_{index};")
+    lines.extend(
+        [
+            "    bq <= acc;",
+            "    bst <= cs_0;",
+            "    wait on " + ", ".join(f"cq_{i}" for i in range(cells_per_bank)) + ";",
+            "  end process fold;",
+            "end grouped;",
+            "",
+            "entity bus_top is",
+            "  port( data  : in std_logic_vector(7 downto 0);",
+            "        ctl   : in std_logic;",
+            "        merged : out std_logic_vector(7 downto 0);",
+            "        ready : out std_logic );",
+            "end bus_top;",
+            "",
+            "architecture routed of bus_top is",
+            "  component bank is",
+            "    port( bd   : in std_logic_vector(7 downto 0);",
+            "          bctl : in std_logic;",
+            "          bq   : out std_logic_vector(7 downto 0);",
+            "          bst  : out std_logic );",
+            "  end component bank;",
+        ]
+    )
+    for index in range(banks):
+        lines.append(f"  signal bq_{index} : std_logic_vector(7 downto 0);")
+        lines.append(f"  signal bs_{index} : std_logic;")
+    lines.append("begin")
+    for index in range(banks):
+        lines.append(
+            f"  bank_{index} : bank port map "
+            f"(bd => data, bctl => ctl, bq => bq_{index}, bst => bs_{index});"
+        )
+    lines.extend(
+        [
+            "",
+            "  merge : process",
+            "    variable acc : std_logic_vector(7 downto 0);",
+            "  begin",
+            "    acc := bq_0;",
+        ]
+    )
+    for index in range(1, banks):
+        lines.append(f"    acc := acc xor bq_{index};")
+    lines.extend(
+        [
+            "    merged <= acc;",
+            "    ready <= bs_0;",
+            "    wait on " + ", ".join(f"bq_{i}" for i in range(banks)) + ";",
+            "  end process merge;",
+            "end routed;",
+        ]
+    )
+    return "\n".join(lines) + "\n"
+
+
+def hierarchical_mux_program() -> str:
+    """A small hand-written hierarchy with concurrent-assignment leaves.
+
+    The child entity is purely combinational (two concurrent assignments, no
+    process), one instance is bound positionally and one by name, and the root
+    mixes the instance outputs under a select input.  The smallest member of
+    the hierarchical family, used wherever the tests need a cheap
+    representative with every front-end form.
+    """
+    return """
+entity stage is
+  port( a : in std_logic;
+        b : in std_logic;
+        y : out std_logic );
+end stage;
+
+architecture comb of stage is
+  signal t : std_logic;
+begin
+  t <= (a and b);
+  y <= (t or a);
+end comb;
+
+entity mux_top is
+  port( hi  : in std_logic;
+        lo  : in std_logic;
+        sel : in std_logic;
+        o   : out std_logic );
+end mux_top;
+
+architecture wired of mux_top is
+  component stage is
+    port( a : in std_logic;
+          b : in std_logic;
+          y : out std_logic );
+  end component stage;
+  signal n1 : std_logic;
+  signal n2 : std_logic;
+begin
+  u1 : stage port map (a => hi, b => sel, y => n1);
+  u2 : stage port map (lo, sel, n2);
+
+  pick : process
+  begin
+    if sel = '1' then
+      o <= n1;
+    else
+      o <= n2;
+    end if;
+    wait on n1, n2, sel;
+  end process pick;
+end wired;
+"""
+
+
+def hierarchy_workload_sources() -> List[Tuple[str, str]]:
+    """Named hierarchical workloads, as ``(name, source)`` pairs.
+
+    Small instances of every hierarchical family: the canonical input set for
+    the linked-versus-flattened equivalence tests.  (The benchmark uses larger
+    instances of the same generators.)
+    """
+    return [
+        ("mux_top", hierarchical_mux_program()),
+        ("regfile_monitor", hierarchical_register_file(cells=3, depth=4)),
+        (
+            "regfile_sync",
+            hierarchical_register_file(cells=2, depth=3, monitor=False),
+        ),
+        ("bus_top", hierarchical_bus_program(banks=2, cells_per_bank=2, depth=3)),
+    ]
 
 
 def batch_workload_sources() -> List[Tuple[str, str]]:

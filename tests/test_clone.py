@@ -1,0 +1,106 @@
+"""Golden tests for the structural AST cloner (``repro.vhdl.clone``).
+
+The cloner replaced ``copy.deepcopy`` on the elaboration hot path; these
+tests pin its contract: a clone is *equal* to a deepcopy for every statement
+and declaration of every workload, shares the frozen position objects it is
+allowed to share, and isolates elaboration's in-place mutations from the
+cached parse artifact.
+"""
+
+import copy
+
+import pytest
+
+from repro import workloads
+from repro.vhdl import ast
+from repro.vhdl.clone import (
+    clone_declaration,
+    clone_expression,
+    clone_statement,
+    clone_statements,
+)
+from repro.vhdl.elaborate import elaborate
+from repro.vhdl.parser import parse_program
+
+ALL_WORKLOADS = (
+    workloads.batch_workload_sources() + workloads.hierarchy_workload_sources()
+)
+
+
+def _processes(program):
+    for architecture in program.architectures:
+        for stmt in architecture.body:
+            if isinstance(stmt, ast.ProcessStatement):
+                yield stmt
+
+
+@pytest.mark.parametrize("name,source", ALL_WORKLOADS, ids=lambda v: v[:20])
+def test_clone_equals_deepcopy_across_workloads(name, source):
+    program = parse_program(source)
+    for process in _processes(program):
+        assert clone_statements(process.body) == copy.deepcopy(process.body)
+        for decl in process.declarations:
+            assert clone_declaration(decl) == copy.deepcopy(decl)
+
+
+def test_clone_is_a_distinct_tree_sharing_positions():
+    program = parse_program(workloads.paper_program_a())
+    process = next(_processes(program))
+    cloned = clone_statements(process.body)
+    assert cloned == process.body
+    for original, copy_ in zip(process.body, cloned):
+        assert original is not copy_
+        assert original.position is copy_.position  # frozen, safe to share
+
+
+def test_rename_hook_rewrites_every_occurrence():
+    source = """
+entity e is
+  port( a : in std_logic;
+        b : out std_logic );
+end e;
+
+architecture rtl of e is
+begin
+  p : process
+    variable v : std_logic;
+  begin
+    v := (a and a);
+    if (v = '1') then
+      b <= v;
+    end if;
+    wait on a;
+  end process p;
+end rtl;
+"""
+    process = next(_processes(parse_program(source)))
+    renamed = clone_statements(process.body, lambda n: f"x_{n}")
+    assign, branch, wait = renamed
+    assert assign.target == "x_v"
+    assert assign.value.left.ident == "x_a"
+    assert branch.then_branch[0].target == "x_b"
+    assert wait.signals == ("x_a",)
+    # the original is untouched
+    assert process.body[0].target == "v"
+
+
+def test_elaboration_does_not_mutate_the_parse_artifact():
+    # elaborate stamps labels and resolves name kinds on *copies*; analysing
+    # the same parsed program twice must start from pristine statements both
+    # times, and leave the artifact equal to a fresh parse
+    program = parse_program(workloads.challenge_f_program())
+    pristine = copy.deepcopy(program)
+    first = elaborate(program)
+    assert program == pristine
+    second = elaborate(program)
+    assert program == pristine
+    assert [p.name for p in first.processes] == [p.name for p in second.processes]
+
+
+def test_unsupported_nodes_raise():
+    with pytest.raises(TypeError, match="cannot clone"):
+        clone_statement(object())  # type: ignore[arg-type]
+    with pytest.raises(TypeError, match="cannot clone"):
+        clone_declaration(object())  # type: ignore[arg-type]
+    with pytest.raises(TypeError, match="cannot clone"):
+        clone_expression(object())  # type: ignore[arg-type]

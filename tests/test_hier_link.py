@@ -1,0 +1,216 @@
+"""Equivalence of the two hierarchy routes (``repro.hier.link`` vs flatten).
+
+The headline contract of the subsystem: for every hierarchical workload and
+every analysis option combination, the ``vhdl-ifa/v1`` document produced by
+summary linking is byte-identical to the one produced by flattening first —
+through the library, the CLI (``--flatten``) and the serve surface alike.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro import Workspace, workloads
+from repro.cli import main
+from repro.errors import ElaborationError, HierarchyError
+from repro.hier import flatten_source, link_hierarchy
+from repro.pipeline import Pipeline, analyze_document, json_text
+from repro.pipeline.artifacts import AnalysisOptions
+from repro.vhdl.parser import parse_program
+
+VOLATILE = ("timings", "cached_stages")
+
+OPTION_COMBOS = list(itertools.product([True, False], repeat=3))
+
+
+def _doc(run, **render):
+    document = analyze_document(run, **render)
+    for field in VOLATILE:
+        document.pop(field, None)
+    return json_text(document)
+
+
+@pytest.mark.parametrize(
+    "name,source", workloads.hierarchy_workload_sources(), ids=lambda v: v[:20]
+)
+@pytest.mark.parametrize(
+    "improved,loop_processes,under", OPTION_COMBOS, ids=lambda v: str(v)[:5]
+)
+def test_linked_documents_equal_flattened(name, source, improved, loop_processes, under):
+    options = AnalysisOptions(
+        improved=improved,
+        loop_processes=loop_processes,
+        use_under_approximation=under,
+    )
+    program = parse_program(source)
+    linked = link_hierarchy(program, options)
+    flattened = Pipeline().run(flatten_source(program), options)
+    assert _doc(linked) == _doc(flattened)
+
+
+def test_rendering_variants_agree():
+    program = parse_program(workloads.hierarchical_mux_program())
+    options = AnalysisOptions()
+    linked = link_hierarchy(program, options)
+    flattened = Pipeline().run(flatten_source(program), options)
+    for collapse, self_loops in itertools.product([True, False], repeat=2):
+        render = {"collapse": collapse, "self_loops": self_loops}
+        assert _doc(linked, **render) == _doc(flattened, **render)
+
+
+class TestWorkspaceRouting:
+    def test_analyze_run_auto_links(self):
+        ws = Workspace()
+        run = ws.analyze_run(workloads.hierarchical_mux_program())
+        assert [stage.name for stage in run.stages] == ["summary", "link"]
+
+    def test_flatten_route_is_byte_identical(self):
+        ws = Workspace()
+        source = workloads.hierarchical_register_file(cells=3, depth=4)
+        linked = ws.analyze_run(source)
+        flattened = ws.analyze_run(source, hierarchy="flatten")
+        assert _doc(linked) == _doc(flattened)
+
+    def test_reject_restores_the_flat_refusal(self):
+        ws = Workspace()
+        with pytest.raises(ElaborationError):
+            ws.analyze_run(
+                workloads.hierarchical_mux_program(), hierarchy="reject"
+            )
+
+    def test_invalid_hierarchy_mode(self):
+        ws = Workspace()
+        with pytest.raises(ValueError, match="hierarchy"):
+            ws.analyze_run(workloads.hierarchical_mux_program(), hierarchy="no")
+
+    def test_flat_sources_are_untouched(self):
+        # a flat source takes the ordinary staged pipeline, stage for stage
+        ws = Workspace()
+        run = ws.analyze_run(workloads.paper_program_a())
+        assert [stage.name for stage in run.stages][:2] == ["parse", "elaborate"]
+
+    def test_analyze_hierarchy_run_does_not_autodetect(self):
+        # a flat program is a zero-instance hierarchy on this surface
+        ws = Workspace()
+        run = ws.analyze_hierarchy_run(workloads.paper_program_a())
+        assert [stage.name for stage in run.stages] == ["summary", "link"]
+        flat = ws.analyze_run(workloads.paper_program_a())
+        assert _doc(run) == _doc(flat)
+
+    def test_check_flattens_transparently(self):
+        ws = Workspace()
+        source = workloads.hierarchical_mux_program()
+        checked = ws.check(
+            source, {"levels": {"sel": 1, "o": 0}, "mode": "transitive"}
+        )
+        assert checked.clean is not None
+
+    def test_lint_flattens_transparently(self):
+        ws = Workspace()
+        lint = ws.lint(workloads.hierarchical_mux_program())
+        assert lint.exit_code == 0
+
+    def test_entity_selects_the_root(self):
+        ws = Workspace()
+        source = workloads.hierarchical_mux_program()
+        sub = ws.analyze_run(source, entity="stage")
+        assert sub.result.design.name == "stage"
+
+
+class TestCLI:
+    def test_flatten_flag_matches_default_route(self, tmp_path, capsys):
+        path = tmp_path / "mux.vhdl"
+        path.write_text(workloads.hierarchical_mux_program(), encoding="utf-8")
+        assert main(["analyze", str(path), "--json"]) == 0
+        linked = json.loads(capsys.readouterr().out)
+        assert main(["analyze", str(path), "--json", "--flatten"]) == 0
+        flattened = json.loads(capsys.readouterr().out)
+        for document in (linked, flattened):
+            for field in VOLATILE:
+                document.pop(field, None)
+        assert linked == flattened
+
+    def test_structural_fault_exits_like_an_analysis_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.vhdl"
+        source = workloads.hierarchical_mux_program().replace(
+            "port map (lo, sel, n2)", "port map (lo, sel)"
+        )
+        path.write_text(source, encoding="utf-8")
+        assert main(["analyze", str(path)]) == 1
+        assert "unbound formal port" in capsys.readouterr().err
+
+    def test_batch_over_hierarchical_files(self, tmp_path, capsys):
+        hier = tmp_path / "mux.vhdl"
+        hier.write_text(workloads.hierarchical_mux_program(), encoding="utf-8")
+        flat = tmp_path / "flat.vhdl"
+        flat.write_text(workloads.paper_program_a(), encoding="utf-8")
+        assert (
+            main(["batch", str(hier), str(flat), "--jobs", "1", "--json"]) == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert [job["ok"] for job in document["jobs"]] == [True, True]
+        # the hierarchical job's document equals the single-file analyze one
+        assert main(["analyze", str(hier), "--json"]) == 0
+        single = json.loads(capsys.readouterr().out)
+        batch_job = document["jobs"][0]
+        assert batch_job["design"] == single["design"]
+        assert batch_job["graph"] == single["graph"]
+
+
+class TestServe:
+    def test_serve_analyzes_hierarchical_sources(self):
+        from repro.pipeline.serve import execute_request
+
+        ws = Workspace()
+        status, document = execute_request(
+            ws, "analyze", {"source": workloads.hierarchical_mux_program()}, None
+        )
+        assert status == 200
+        assert document["design"] == "mux_top"
+        flat_doc = json.loads(
+            _doc(ws.analyze_run(workloads.hierarchical_mux_program()))
+        )
+        for field in VOLATILE:
+            document.pop(field, None)
+        assert document["graph"] == flat_doc["graph"]
+
+
+class TestLinkErrorParity:
+    def test_flat_signal_collision(self):
+        # an internal signal of the root spelled like a renamed child signal
+        source = workloads.hierarchical_mux_program().replace(
+            "signal n1 : std_logic;",
+            "signal n1 : std_logic;\n  signal u1__t : std_logic;",
+        )
+        program = parse_program(source)
+        with pytest.raises(HierarchyError, match="duplicate signal 'u1__t'"):
+            link_hierarchy(program)
+
+    def test_zero_process_design(self):
+        source = """
+entity empty is
+  port( x : in std_logic;
+        y : out std_logic );
+end empty;
+
+architecture rtl of empty is
+begin
+end rtl;
+
+entity shell is
+  port( p : in std_logic;
+        q : out std_logic );
+end shell;
+
+architecture rtl of shell is
+  component empty is
+    port( x : in std_logic;
+          y : out std_logic );
+  end component empty;
+begin
+  u1 : empty port map (p, q);
+end rtl;
+"""
+        with pytest.raises(HierarchyError, match="contains no processes"):
+            link_hierarchy(parse_program(source))
